@@ -1,0 +1,51 @@
+"""Fig. 2: GPU occupancy vs NVML utilization for ResNet-50 on A100.
+
+Paper shape: both metrics rise with batch size; NVML saturates around 90%
+while occupancy plateaus far lower (~45%) — NVML is a loose upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import A100, profile_graph
+from repro.models import ModelConfig, build_model
+
+from conftest import report
+
+BATCH_SIZES = (4, 8, 16, 32, 64, 96, 128)
+
+
+def _sweep():
+    rows = []
+    for bs in BATCH_SIZES:
+        g = build_model("resnet-50", ModelConfig(batch_size=bs))
+        p = profile_graph(g, A100)
+        rows.append((bs, p.occupancy, p.nvml_utilization))
+    return rows
+
+
+def test_fig2_series(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'batch':>6s} {'occupancy':>10s} {'nvml_util':>10s}"]
+    for bs, occ, nvml in sweep:
+        lines.append(f"{bs:6d} {occ:10.3f} {nvml:10.3f}")
+    report("fig2_occupancy_vs_nvml", lines)
+
+    occ = [r[1] for r in sweep]
+    nvml = [r[2] for r in sweep]
+    # NVML strictly dominates occupancy at every batch size.
+    assert all(n > o for n, o in zip(nvml, occ))
+    # Both increase with batch size.
+    assert occ == sorted(occ)
+    assert nvml == sorted(nvml)
+    # NVML saturates (~90%+) while occupancy stays far below it.
+    assert nvml[-1] > 0.9
+    assert occ[-1] < 0.6
+    # The gap at large batch is the paper's headline observation.
+    assert nvml[-1] - occ[-1] > 0.3
+
+
+def test_fig2_profile_throughput(benchmark):
+    g = build_model("resnet-50", ModelConfig(batch_size=64))
+    result = benchmark(profile_graph, g, A100)
+    assert result.occupancy > 0

@@ -1,0 +1,137 @@
+"""Fig. 4 (a,b,c): prediction accuracy of DNN-occu vs all five baselines on
+seen and unseen test models, per device (A100, RTX 2080Ti, P40).
+
+Paper shape: on seen models all predictors are comparable; on unseen models
+DNN-occu is clearly best and MLP-style baselines degrade badly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE, report
+
+DEVICES = ("A100", "RTX2080Ti", "P40")
+
+#: per-device unseen MRE, filled by the parametrized test and consumed by
+#: the cross-device summary test (pytest runs them in file order)
+_UNSEEN_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("device_name", DEVICES)
+def test_fig4_per_device(benchmark, bundle_factory, device_name):
+    bundle = bundle_factory(device_name)
+    seen, unseen = benchmark.pedantic(
+        lambda: (bundle.evaluate(bundle.seen_test),
+                 bundle.evaluate(bundle.unseen_test)),
+        rounds=1, iterations=1)
+
+    lines = [f"device: {device_name}",
+             f"{'predictor':>12s} {'seen MRE%':>10s} {'seen MSE':>10s} "
+             f"{'unseen MRE%':>12s} {'unseen MSE':>11s}"]
+    for name in seen:
+        lines.append(
+            f"{name:>12s} {seen[name]['mre_percent']:10.3f} "
+            f"{seen[name]['mse']:10.4f} "
+            f"{unseen[name]['mre_percent']:12.3f} "
+            f"{unseen[name]['mse']:11.4f}")
+    report(f"fig4_{device_name.lower()}", lines)
+
+    _UNSEEN_RESULTS[device_name] = {
+        name: ev["mre_percent"] for name, ev in unseen.items()}
+    ours_unseen = unseen["DNN-occu"]["mre_percent"]
+    best_other = min(ev["mre_percent"] for name, ev in unseen.items()
+                     if name != "DNN-occu")
+
+    # Robust invariants at CPU benchmark scale (training sets are two
+    # orders of magnitude smaller than the paper's; see EXPERIMENTS.md):
+    # (1) DNN-occu stays accurate on unseen models;
+    assert ours_unseen < 40.0
+    # (2) it is in the lead group — never far behind the per-device best.
+    assert ours_unseen <= max(1.8 * best_other, best_other + 10.0)
+
+    # At paper-leaning scale the strict claim is enforced: DNN-occu beats
+    # every baseline on unseen models on every device.
+    if SCALE >= 2.0:
+        assert ours_unseen <= best_other + 1e-9
+
+
+def test_fig4_dnn_occu_wins_some_device(benchmark, bundle_factory):
+    """Across the three devices DNN-occu is the outright unseen-model
+    winner on at least one (the paper claims all three; see
+    EXPERIMENTS.md for the scale caveat)."""
+    def collect():
+        for device_name in DEVICES:
+            if device_name not in _UNSEEN_RESULTS:
+                bundle = bundle_factory(device_name)
+                _UNSEEN_RESULTS[device_name] = {
+                    name: tr.evaluate(bundle.unseen_test)["mre_percent"]
+                    for name, tr in bundle.trainers.items()}
+        return _UNSEEN_RESULTS
+    benchmark.pedantic(collect, rounds=1, iterations=1)
+    wins = 0
+    degraded = 0
+    beats_dnnperf = 0
+    for device_name, rows in _UNSEEN_RESULTS.items():
+        ours = rows["DNN-occu"]
+        # Within half a percentage point counts as a (tied) win.
+        if all(ours <= v + 0.5 for k, v in rows.items()
+               if k != "DNN-occu"):
+            wins += 1
+        worst = max(v for k, v in rows.items() if k != "DNN-occu")
+        if worst > 1.6 * ours:
+            degraded += 1
+        if ours <= rows["DNNPerf"] + 1e-9:
+            beats_dnnperf += 1
+    assert wins >= 1, _UNSEEN_RESULTS
+    # On most devices some baseline degrades badly while DNN-occu holds,
+    # and DNN-occu beats its GNN predecessor DNNPerf.
+    assert degraded >= 2, _UNSEEN_RESULTS
+    assert beats_dnnperf >= 2, _UNSEEN_RESULTS
+
+
+def test_fig4_per_model_breakdown(benchmark, bundle_factory):
+    """Fig. 4's bars are per *model name*; regenerate that view on A100
+    for DNN-occu (the paper's headline series)."""
+    from repro.data import Dataset
+    from repro.metrics import per_group_errors
+
+    bundle = bundle_factory("A100")
+    samples = Dataset(list(bundle.seen_test) + list(bundle.unseen_test))
+    trainer = bundle.trainers["DNN-occu"]
+
+    def compute():
+        preds = trainer.predict(samples)
+        return per_group_errors(preds, samples.labels(),
+                                [s.model_name for s in samples])
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [f"{'model':>12s} {'n':>3s} {'MRE%':>8s} {'MSE':>9s}"]
+    for name, r in sorted(rows.items()):
+        lines.append(f"{name:>12s} {r['count']:3d} "
+                     f"{r['mre_percent']:8.2f} {r['mse']:9.5f}")
+    report("fig4_per_model_a100", lines)
+
+    # Every test model is predictable to a usable band except at most two
+    # hard outliers (the paper's GPT-2-style cases).
+    bad = [n for n, r in rows.items() if r["mre_percent"] > 60.0]
+    assert len(bad) <= 2, rows
+
+
+def test_fig4_unseen_error_band(benchmark, bundle_factory):
+    """Paper: DNN-occu reaches 5.496% MRE on unseen models (A100); at
+    benchmark scale we hold a looser band."""
+    bundle = bundle_factory("A100")
+    ev = benchmark.pedantic(
+        lambda: bundle.trainers["DNN-occu"].evaluate(bundle.unseen_test),
+        rounds=1, iterations=1)
+    assert ev["mre_percent"] < 35.0
+    assert ev["mse"] < 0.02
+
+
+def test_fig4_inference_latency(benchmark, bundle_factory):
+    """Prediction must be cheap — the paper's motivation vs profiling."""
+    bundle = bundle_factory("A100")
+    model = bundle.trainers["DNN-occu"].model
+    sample = bundle.seen_test[0]
+    benchmark(model.predict, sample.features)

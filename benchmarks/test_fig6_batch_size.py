@@ -1,0 +1,65 @@
+"""Fig. 6: impact of batch size on GPU occupancy and NVML utilization —
+the hyperparameter-optimization case study (Section VI-A).
+
+Paper shape: occupancy always below NVML utilization; occupancy growth
+flattens at large batch (other bottlenecks emerge); DNN-occu's predictions
+track the occupancy curve well enough to pick good batch sizes without
+profiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.features import encode_graph
+from repro.gpu import A100, profile_graph
+from repro.models import ModelConfig, build_model
+
+from conftest import report
+
+BATCH_SIZES = (16, 32, 48, 64, 96, 128)
+
+
+def _sweep(model):
+    rows = []
+    for bs in BATCH_SIZES:
+        g = build_model("resnet-18", ModelConfig(batch_size=bs))
+        prof = profile_graph(g, A100)
+        pred = model.predict(encode_graph(g, A100))
+        rows.append((bs, prof.occupancy, prof.nvml_utilization, pred))
+    return rows
+
+
+def test_fig6_series(benchmark, bundle_factory):
+    model = bundle_factory("A100").trainers["DNN-occu"].model
+    sweep = benchmark.pedantic(lambda: _sweep(model), rounds=1, iterations=1)
+
+    lines = [f"{'batch':>6s} {'occupancy':>10s} {'nvml':>8s} "
+             f"{'predicted':>10s}"]
+    for bs, occ, nvml, pred in sweep:
+        lines.append(f"{bs:6d} {occ:10.3f} {nvml:8.3f} {pred:10.3f}")
+    report("fig6_batch_size", lines)
+
+    occ = np.array([r[1] for r in sweep])
+    nvml = np.array([r[2] for r in sweep])
+    pred = np.array([r[3] for r in sweep])
+
+    # Occupancy is a tighter bound than NVML at every batch size.
+    assert np.all(occ < nvml)
+    # Diminishing returns: the occupancy gain flattens.
+    assert (occ[-1] - occ[-2]) < (occ[1] - occ[0])
+    # DNN-occu's predictions track the occupancy curve (rank correlation).
+    rho = stats.spearmanr(occ, pred).statistic
+    assert rho > 0.5, f"prediction does not track occupancy (rho={rho:.2f})"
+    # Guided hyperparameter choice: the predicted-best batch size achieves
+    # nearly the best true occupancy.
+    chosen = int(np.argmax(pred))
+    assert occ[chosen] >= 0.9 * occ.max()
+
+
+def test_fig6_sweep_speed(benchmark):
+    def sweep_once():
+        g = build_model("resnet-18", ModelConfig(batch_size=64))
+        return profile_graph(g, A100).occupancy
+    benchmark(sweep_once)

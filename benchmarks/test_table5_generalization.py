@@ -1,0 +1,84 @@
+"""Table V: generalization to unseen transformer architectures.
+
+Exactly the paper's hardest setting: train on ViT-T configurations *only*,
+then predict Swin Transformer, MaxViT, ViT-S, BERT, and GPT-2 on all three
+devices.  Paper shape: DNN-occu reaches single-digit MRE on Swin / MaxViT /
+ViT-S / BERT; GPT-2 is hard for everyone (DNN-occu 36-186%); DNNPerf and
+BRP-NAS are off by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BRPNASPredictor, DNNPerfPredictor
+from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, fit_best_of
+from repro.data import generate_dataset
+from repro.gpu import get_device
+
+from conftest import EPOCHS, HIDDEN, LR, report
+
+TARGETS = ("swin-s", "maxvit-t", "vit-s", "bert", "gpt-2")
+DEVICES = ("A100", "RTX2080Ti", "P40")
+EASY_TARGETS = ("vit-s", "bert")  # same-family extrapolation
+
+
+def _device_rows(device_name: str):
+    device = get_device(device_name)
+    train = generate_dataset(["vit-t"], [device], configs_per_model=10,
+                             seed=31)
+    cfg = TrainConfig(epochs=EPOCHS, lr=LR, batch_size=5, seed=0)
+    factories = {
+        "DNN-occu": lambda s: DNNOccu(
+            DNNOccuConfig(hidden=HIDDEN, num_heads=4), seed=s),
+        "DNNPerf": lambda s: DNNPerfPredictor(seed=s, hidden=HIDDEN),
+        "BRP-NAS": lambda s: BRPNASPredictor(seed=s, hidden=HIDDEN),
+    }
+    trainers = {name: fit_best_of(factory, train, cfg, tries=2)
+                for name, factory in factories.items()}
+    rows = {}
+    for target in TARGETS:
+        ds = generate_dataset([target], [device], configs_per_model=2,
+                              seed=37)
+        rows[target] = {name: tr.evaluate(ds)["mre_percent"]
+                        for name, tr in trainers.items()}
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table5_accumulator():
+    return {}
+
+
+@pytest.mark.parametrize("device_name", DEVICES)
+def test_table5_per_device(benchmark, device_name, table5_accumulator):
+    rows = benchmark.pedantic(lambda: _device_rows(device_name), rounds=1,
+                              iterations=1)
+    table5_accumulator[device_name] = rows
+
+    names = list(next(iter(rows.values())))
+    lines = [f"device: {device_name}",
+             f"{'target':>10s} " + " ".join(f"{n:>10s}" for n in names)]
+    for target, res in rows.items():
+        lines.append(f"{target:>10s} " + " ".join(f"{res[n]:10.2f}"
+                                                  for n in names))
+    report(f"table5_{device_name.lower()}", lines)
+
+    # The structurally novel targets are where the methods separate
+    # (paper: DNNPerf off by up to 742,607% on MaxViT): DNN-occu must beat
+    # DNNPerf decisively on Swin and MaxViT ...
+    for target in ("swin-s", "maxvit-t"):
+        assert rows[target]["DNN-occu"] < rows[target]["DNNPerf"], rows
+    # ... with DNNPerf degrading badly on at least one of them.
+    assert max(rows["swin-s"]["DNNPerf"],
+               rows["maxvit-t"]["DNNPerf"]) > 35.0, rows
+    # DNN-occu stays in a usable band across the targets (median; single
+    # rows are 2-sample evaluations and noisy).
+    import numpy as _np
+    ours = [res["DNN-occu"] for res in rows.values()]
+    assert float(_np.median(ours)) < 40.0, rows
+
+    # Same-family extrapolation (ViT-S / BERT) stays in a usable band on
+    # at least one target.
+    best_easy = min(rows[t]["DNN-occu"] for t in EASY_TARGETS)
+    assert best_easy < 60.0

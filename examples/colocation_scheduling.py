@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Case study 2 (Section VI-B): DNN-occu-guided co-location scheduling.
+
+Builds a mixed DL workload, trains DNN-occu to predict each job's
+occupancy, and compares three packing strategies on a simulated 4x P40
+cluster — the Table VI experiment end to end.
+
+Run:  python examples/colocation_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+from repro.data import generate_dataset
+from repro.gpu import P40
+from repro.sched import (NvmlUtilPacking, OccuPacking, SlotPacking,
+                         generate_workload, simulate)
+
+MODEL_MIX = ("lenet", "alexnet", "rnn", "lstm", "vgg-11", "resnet-18",
+             "resnet-34", "vit-t")
+NUM_JOBS = 24
+NUM_GPUS = 4
+
+
+def main() -> None:
+    print("Training DNN-occu on the P40 profile dataset ...")
+    train = generate_dataset(["lenet", "alexnet", "vgg-11", "resnet-18",
+                              "rnn", "lstm"], [P40], configs_per_model=4,
+                             seed=0)
+    model = DNNOccu(DNNOccuConfig(hidden=48, num_heads=4), seed=0)
+    Trainer(model, TrainConfig(epochs=30, lr=1e-3)).fit(train)
+
+    print(f"Generating a {NUM_JOBS}-job workload "
+          f"(DNN-occu supplies predicted occupancy) ...")
+    jobs = generate_workload(MODEL_MIX, P40, NUM_JOBS, seed=7,
+                             iterations_range=(100, 600),
+                             predictor=model.predict)
+    err = np.mean([abs(j.predicted_occupancy - j.occupancy) for j in jobs])
+    print(f"  mean |predicted - true| occupancy: {err:.3f}\n")
+
+    # Calibrate the interference model from kernel-level co-location of
+    # the actual workload models (instead of the built-in defaults).
+    from repro.gpu import calibrate_interference, profile_graph
+    from repro.models import build_model
+    from repro.data import sample_config
+    rng = np.random.default_rng(1)
+    pool = [profile_graph(build_model(str(rng.choice(MODEL_MIX)),
+                                      sample_config(str(rng.choice(MODEL_MIX)),
+                                                    rng)), P40)
+            for _ in range(8)]
+    interference = calibrate_interference(pool, num_pairs=40)
+    print(f"calibrated interference: alpha={interference.alpha:.3f}, "
+          f"beta={interference.beta:.3f}\n")
+
+    print(f"{'strategy':>20s} {'makespan':>10s} {'nvml util':>10s} "
+          f"{'avg JCT':>9s} {'stretch':>8s}")
+    results = {}
+    for policy in (SlotPacking(), NvmlUtilPacking(), OccuPacking()):
+        res = simulate(jobs, NUM_GPUS, policy, interference=interference)
+        results[policy.name] = res
+        print(f"{policy.name:>20s} {res.makespan_s:9.1f}s "
+              f"{res.avg_nvml_utilization:10.1%} {res.avg_jct:8.1f}s "
+              f"{res.avg_stretch:8.3f}")
+
+    base = results["slot-packing"]
+    occu = results["occu-packing"]
+    print(f"\noccu-packing vs slot-packing: "
+          f"makespan {100 * (occu.makespan_s - base.makespan_s) / base.makespan_s:+.1f}%, "
+          f"NVML utilization "
+          f"{100 * (occu.avg_nvml_utilization - base.avg_nvml_utilization) / base.avg_nvml_utilization:+.1f}%")
+    print("(The paper reports -19.71% makespan and +31.45% utilization "
+          "on its 4x P40 testbed.)")
+
+
+if __name__ == "__main__":
+    main()

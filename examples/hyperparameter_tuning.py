@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Case study 1 (Section VI-A): occupancy-aware hyperparameter tuning.
+
+A user wants the batch size that makes best use of an A100 without paying
+for a profiling run per candidate.  DNN-occu predicts the occupancy of
+every candidate configuration from the computation graph alone; we compare
+its ranking against the (expensive) profiled truth and against what the
+NVML metric would have suggested.
+
+Run:  python examples/hyperparameter_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+from repro.data import generate_dataset
+from repro.features import encode_graph
+from repro.gpu import A100, profile_graph
+from repro.models import ModelConfig, build_model
+
+CANDIDATE_BATCHES = (16, 24, 32, 48, 64, 96, 128)
+TARGET = "resnet-18"
+
+
+def main() -> None:
+    # Train the predictor on other models (the target never appears).
+    train = generate_dataset(["lenet", "alexnet", "vgg-11", "vgg-13"],
+                             [A100], configs_per_model=5, seed=0)
+    model = DNNOccu(DNNOccuConfig(hidden=48, num_heads=4), seed=0)
+    Trainer(model, TrainConfig(epochs=30, lr=1e-3)).fit(train)
+
+    print(f"Batch-size sweep for {TARGET} on {A100.name}\n")
+    print(f"{'batch':>6s} {'predicted':>10s} {'measured':>9s} "
+          f"{'nvml':>6s}")
+    rows = []
+    for bs in CANDIDATE_BATCHES:
+        g = build_model(TARGET, ModelConfig(batch_size=bs))
+        pred = model.predict(encode_graph(g, A100))
+        prof = profile_graph(g, A100)
+        rows.append((bs, pred, prof.occupancy, prof.nvml_utilization))
+        print(f"{bs:6d} {pred:10.3f} {prof.occupancy:9.3f} "
+              f"{prof.nvml_utilization:6.3f}")
+
+    best_pred = max(rows, key=lambda r: r[1])
+    best_true = max(rows, key=lambda r: r[2])
+    print(f"\nDNN-occu recommends batch {best_pred[0]} "
+          f"(true occupancy {best_pred[2]:.3f})")
+    print(f"Oracle (profiling every candidate) picks batch {best_true[0]} "
+          f"(occupancy {best_true[2]:.3f})")
+    print(f"Achieved {best_pred[2] / best_true[2]:.1%} of the oracle's "
+          "occupancy with zero profiling runs.")
+    print("\nNote how NVML saturates across the sweep — it cannot rank "
+          "these candidates, which is exactly the paper's argument for "
+          "occupancy as the guiding metric.")
+
+
+if __name__ == "__main__":
+    main()

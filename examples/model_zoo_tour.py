@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Tour of the model zoo and the GPU substrate.
+
+Builds every Table II architecture, profiles it on all three Table III
+devices, and prints the cross-device occupancy matrix — a compact view of
+everything the simulated substrate produces (the data the GNN learns from).
+
+Run:  python examples/model_zoo_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.gpu import DEVICES, OutOfMemoryError, profile_graph
+from repro.models import MODEL_FAMILY, ModelConfig, build_model, list_models
+
+CFG = ModelConfig(batch_size=32, in_channels=3, seq_len=128)
+
+
+def main() -> None:
+    device_names = list(DEVICES)
+    header = f"{'model':>16s} {'family':>12s} {'nodes':>6s} {'GFLOPs':>8s}"
+    for name in device_names:
+        header += f" {name + ' occ':>14s}"
+    print(header)
+
+    for model_name in list_models():
+        graph = build_model(model_name, CFG)
+        row = (f"{model_name:>16s} {MODEL_FAMILY[model_name]:>12s} "
+               f"{graph.num_nodes:6d} {graph.total_flops() / 1e9:8.1f}")
+        for dev_name, device in DEVICES.items():
+            try:
+                prof = profile_graph(graph, device)
+                row += f" {prof.occupancy:13.1%} "
+            except OutOfMemoryError:
+                row += f" {'OOM':>13s} "
+        print(row)
+
+    print("\nNotes:")
+    print(" * occupancy differs per device: the same kernels meet "
+          "different warp budgets, register files, and SM counts;")
+    print(" * GEMM-heavy models (VGG, GPT-2) sit low; elementwise-heavy "
+          "and small models sit higher;")
+    print(" * RNN/LSTM at batch 32 underfill the devices — their Table II "
+          "domain starts at batch 128 for exactly this reason.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Training vs inference occupancy (extension beyond the paper's scope).
+
+The paper predicts *inference* occupancy; the Table I edge features
+reserve a "Backward" type for training graphs.  This example uses the
+training-iteration profiler (forward + backward + optimizer kernels) to
+compare both regimes across the model zoo.
+
+Run:  python examples/training_vs_inference.py
+"""
+
+from __future__ import annotations
+
+from repro.gpu import A100, OutOfMemoryError, profile_graph, \
+    profile_training_graph
+from repro.models import ModelConfig, build_model
+
+MODELS = ("lenet", "alexnet", "vgg-11", "resnet-18", "resnet-50",
+          "vit-t", "bert", "lstm")
+CFG = ModelConfig(batch_size=32, seq_len=128)
+
+
+def main() -> None:
+    print(f"{'model':>12s} {'inf occ':>8s} {'train occ':>10s} "
+          f"{'inf ms':>8s} {'train ms':>9s} {'ratio':>6s}")
+    for name in MODELS:
+        g = build_model(name, CFG)
+        try:
+            inf = profile_graph(g, A100)
+            tr = profile_training_graph(g, A100)
+        except OutOfMemoryError:
+            print(f"{name:>12s} {'OOM':>8s}")
+            continue
+        ratio = tr.busy_time_s / inf.busy_time_s
+        print(f"{name:>12s} {inf.occupancy:8.1%} {tr.occupancy:10.1%} "
+              f"{inf.busy_time_s * 1e3:8.2f} {tr.busy_time_s * 1e3:9.2f} "
+              f"{ratio:6.2f}")
+
+    print("\nObservations:")
+    print(" * a training step costs ~3x the inference iteration "
+          "(dgrad + wgrad + optimizer);")
+    print(" * occupancy stays in a similar band — backward GEMMs inherit "
+          "the forward kernels' resource pressure;")
+    print(" * the embedding backward (atomics) and optimizer step are "
+          "memory-bound additions unique to training.")
+
+
+if __name__ == "__main__":
+    main()

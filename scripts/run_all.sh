@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate everything: install, test, reproduce all tables/figures.
+#
+#   bash scripts/run_all.sh [BENCH_SCALE]
+#
+# BENCH_SCALE (default 1) scales dataset sizes / training epochs in the
+# benchmark harness; 2-3 gives tighter reproduction numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+echo "== install (offline-friendly editable) =="
+pip install -e . 2>/dev/null || python setup.py develop
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ -q | tee test_output.txt
+
+echo "== reproduce every table and figure (scale=$SCALE) =="
+REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \
+    | tee bench_output.txt
+
+echo "== assemble the report =="
+python benchmarks/collect_results.py
+echo "done: see benchmarks/results/REPORT.md"

@@ -1,0 +1,27 @@
+"""DNN-occu reproduction: GPU occupancy prediction for DL models with GNNs.
+
+Reproduction of Mei et al., "GPU Occupancy Prediction of Deep Learning
+Models Using Graph Neural Network" (IEEE CLUSTER 2023), built entirely on
+NumPy/SciPy/NetworkX:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` -- autograd engine and NN layers;
+* :mod:`repro.graph` -- the computation-graph IR (ONNX stand-in);
+* :mod:`repro.models` -- builders for every Table II architecture;
+* :mod:`repro.gpu` -- simulated GPU substrate: occupancy calculator, kernel
+  lowering, profiler (Nsight Compute / NVML stand-in);
+* :mod:`repro.features` / :mod:`repro.data` -- Table I features, datasets;
+* :mod:`repro.core` -- the DNN-occu model and trainer;
+* :mod:`repro.baselines` -- MLP, LSTM, Transformer, DNNPerf, BRP-NAS;
+* :mod:`repro.sched` -- trace-driven co-location scheduling (Table VI);
+* :mod:`repro.metrics` -- MRE/MSE and bucketing.
+"""
+
+__version__ = "1.0.0"
+
+from . import (baselines, core, data, features, graph, gpu, metrics, models,
+               nn, sched, tensor)
+
+__all__ = [
+    "tensor", "nn", "graph", "models", "gpu", "features", "data", "core",
+    "baselines", "sched", "metrics", "__version__",
+]

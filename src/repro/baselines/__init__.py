@@ -1,0 +1,15 @@
+"""Comparison baselines (Section IV-D): MLP, LSTM, Transformer, DNNPerf,
+BRP-NAS."""
+
+from .mlp import MLPPredictor
+from .recurrent import LSTMPredictor
+from .transformer import TransformerPredictor
+from .dnnperf import DNNPerfPredictor
+from .brpnas import BRPNASPredictor, GCNLayer
+from .analytical import AnalyticalPredictor
+
+__all__ = [
+    "MLPPredictor", "LSTMPredictor", "TransformerPredictor",
+    "DNNPerfPredictor", "BRPNASPredictor", "GCNLayer",
+    "AnalyticalPredictor",
+]

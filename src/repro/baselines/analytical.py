@@ -1,0 +1,69 @@
+"""Analytical baseline in the spirit of Paleo / Yeung et al.
+
+The related work (Section VII) predicts utilization from hand-crafted
+aggregate quantities — FLOPs, input sizes, layer counts — with a simple
+fitted model rather than a GNN.  :class:`AnalyticalPredictor` reproduces
+that recipe: a closed-form ridge regression from graph-level summary
+statistics to occupancy.  No gradients, no graph structure — the cheapest
+credible comparator, and a useful sanity floor for the learned models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Dataset, GraphSample
+from ..metrics import evaluate_predictions
+
+__all__ = ["AnalyticalPredictor"]
+
+
+def _summary_features(sample: GraphSample) -> np.ndarray:
+    """Graph-level aggregates: the hand-crafted features of prior work."""
+    nf = sample.features.node_features
+    # Column blocks are stable (see repro.features.encode): the last 5 are
+    # device features; flops/sizes live mid-vector.  Aggregates below are
+    # deliberately coarse — that is the point of this baseline.
+    device = nf[0, -5:]
+    mean_all = nf.mean(axis=0)
+    max_all = nf.max(axis=0)
+    return np.concatenate([
+        [np.log1p(sample.num_nodes) / 8.0,
+         np.log1p(sample.num_edges) / 8.0],
+        mean_all, max_all, device,
+    ])
+
+
+class AnalyticalPredictor:
+    """Ridge regression on graph-level summary statistics.
+
+    API mirrors the sklearn convention (``fit`` / ``predict``) plus the
+    ``evaluate`` surface of :class:`repro.core.Trainer` so benchmark code
+    can treat it uniformly.
+    """
+
+    def __init__(self, ridge: float = 1e-3):
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "AnalyticalPredictor":
+        if len(dataset) == 0:
+            raise ValueError("empty training dataset")
+        x = np.stack([_summary_features(s) for s in dataset])
+        x = np.concatenate([x, np.ones((len(x), 1))], axis=1)  # bias
+        y = dataset.labels()
+        a = x.T @ x + self.ridge * np.eye(x.shape[1])
+        self._weights = np.linalg.solve(a, x.T @ y)
+        return self
+
+    def predict(self, dataset: Dataset) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x = np.stack([_summary_features(s) for s in dataset])
+        x = np.concatenate([x, np.ones((len(x), 1))], axis=1)
+        return np.clip(x @ self._weights, 0.0, 1.0)
+
+    def evaluate(self, dataset: Dataset) -> dict[str, float]:
+        return evaluate_predictions(self.predict(dataset), dataset.labels())

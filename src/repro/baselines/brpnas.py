@@ -1,0 +1,69 @@
+"""BRP-NAS baseline (Dudziak et al., NeurIPS 2020).
+
+A graph convolutional network over the computation graph.  As the paper
+notes (Section IV-D), BRP-NAS "focuses on modeling the impact from the
+computation graph structure while overlooking runtime factors associated
+with nodes and edges": its node inputs are the operator-type one-hots only
+— batch size, tensor sizes, FLOPs and device features are invisible to it,
+so configurations of the same architecture are indistinguishable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features import GraphFeatures
+from ..graph import OP_TYPES
+from ..nn import Linear
+from ..tensor import Module, ModuleList, Parameter, Tensor, init
+
+__all__ = ["GCNLayer", "BRPNASPredictor"]
+
+
+class GCNLayer(Module):
+    """Kipf-Welling graph convolution: H' = ReLU(D̂^-1/2 Â D̂^-1/2 H W)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(init.xavier_uniform((in_dim, out_dim), rng))
+
+    def forward(self, h: Tensor, edge_index: np.ndarray) -> Tensor:
+        n = h.shape[0]
+        src, dst = edge_index
+        # Symmetric normalization with self-loops (computed on constants).
+        deg = np.ones(n)  # self-loop
+        np.add.at(deg, dst, 1.0)
+        np.add.at(deg, src, 1.0)  # treat as undirected
+        inv_sqrt = 1.0 / np.sqrt(deg)
+
+        hw = h @ self.weight
+        # Self-loop term + symmetric-normalized neighbor sums (both ways).
+        out = hw * Tensor(inv_sqrt[:, None] ** 2)
+        if len(src):
+            coeff = inv_sqrt[src] * inv_sqrt[dst]
+            fwd = Tensor.scatter_add(hw[src] * Tensor(coeff[:, None]), dst, n)
+            bwd = Tensor.scatter_add(hw[dst] * Tensor(coeff[:, None]), src, n)
+            out = out + fwd + bwd
+        return out.relu()
+
+
+class BRPNASPredictor(Module):
+    """4-layer GCN on op-type one-hots, mean readout, linear head."""
+
+    def __init__(self, seed: int = 0, hidden: int = 64, num_layers: int = 4):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [len(OP_TYPES)] + [hidden] * num_layers
+        self.layers = ModuleList([GCNLayer(a, b, rng)
+                                  for a, b in zip(dims[:-1], dims[1:])])
+        self.head = Linear(hidden, 1, rng)
+        #: node-feature columns holding the operator-type one-hot
+        self._onehot_dim = len(OP_TYPES)
+
+    def forward(self, features: GraphFeatures) -> Tensor:
+        # Structure-only view: strip every runtime feature.
+        h = Tensor(features.node_features[:, :self._onehot_dim])
+        for layer in self.layers:
+            h = layer(h, features.edge_index)
+        pooled = h.mean(axis=0).reshape(1, -1)
+        return self.head(pooled).reshape(())

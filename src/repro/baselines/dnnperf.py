@@ -1,0 +1,49 @@
+"""DNNPerf baseline (Gao et al., ICSE-SEIP 2023).
+
+DNNPerf is the GNN predecessor DNN-occu borrows the ANEE layer from: a
+stack of ANEE message-passing rounds followed by a *sum* readout and an MLP
+regressor with an unbounded (linear) output.  Sum readout makes the latent
+magnitude grow with graph size and the linear head extrapolates freely —
+faithful to the original design (built for runtime/memory regression, whose
+targets do scale with graph size) and the mechanism behind its very large
+occupancy errors on unseen architectures in Tables IV/V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.anee import ANEELayer
+from ..features import GraphFeatures, edge_feature_dim, node_feature_dim
+from ..nn import Linear
+from ..tensor import Module, ModuleList, Tensor
+
+__all__ = ["DNNPerfPredictor"]
+
+
+class DNNPerfPredictor(Module):
+    """ANEE rounds -> sum readout -> 2-layer MLP with linear output."""
+
+    def __init__(self, seed: int = 0, hidden: int = 64, num_layers: int = 2,
+                 node_dim: int | None = None, edge_dim: int | None = None):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        nd = node_dim if node_dim is not None else node_feature_dim()
+        ed = edge_dim if edge_dim is not None else edge_feature_dim()
+        layers = []
+        n_in, e_in = nd, ed
+        for _ in range(num_layers):
+            layers.append(ANEELayer(n_in, e_in, hidden, rng))
+            n_in = e_in = hidden
+        self.layers = ModuleList(layers)
+        self.fc1 = Linear(hidden, hidden, rng)
+        self.fc2 = Linear(hidden, 1, rng)
+
+    def forward(self, features: GraphFeatures) -> Tensor:
+        h = Tensor(features.node_features)
+        e = Tensor(features.edge_features)
+        for layer in self.layers:
+            h, e = layer(h, e, features.edge_index)
+        readout = h.sum(axis=0).reshape(1, -1)   # sum readout (size-sensitive)
+        z = self.fc1(readout).relu()
+        return self.fc2(z).reshape(())

@@ -1,0 +1,33 @@
+"""MLP baseline (Section IV-D, after Justus & McGough).
+
+Applies a four-layer MLP (the paper's widths: 80, 512, 512, 256) to every
+node's Table I feature vector and averages per-node estimates into a graph
+prediction.  No relational structure and no kernel-duration weighting —
+the sources of its poor generalization to unseen architectures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features import GraphFeatures, node_feature_dim
+from ..nn import MLP
+from ..tensor import Module, Tensor
+
+__all__ = ["MLPPredictor"]
+
+
+class MLPPredictor(Module):
+    """Per-node MLP regression, mean-aggregated over the graph."""
+
+    def __init__(self, seed: int = 0, widths: tuple[int, ...] = (80, 512, 512, 256),
+                 node_dim: int | None = None):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        nd = node_dim if node_dim is not None else node_feature_dim()
+        self.net = MLP([nd, *widths, 1], rng)
+
+    def forward(self, features: GraphFeatures) -> Tensor:
+        h = Tensor(features.node_features)
+        per_node = self.net(h)            # (n, 1)
+        return per_node.mean().reshape(())

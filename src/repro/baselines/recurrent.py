@@ -1,0 +1,42 @@
+"""LSTM baseline (Section IV-D): the node-feature sequence as a time series.
+
+Nodes are fed in topological (node-id) order through a two-layer LSTM; the
+final hidden state regresses occupancy.  Sequences longer than
+``max_nodes`` are uniformly subsampled — the recurrent baseline cannot
+afford thousand-step unrolls, and subsampling matches how sequence
+baselines truncate long inputs in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features import GraphFeatures, node_feature_dim
+from ..nn import LSTM, Linear
+from ..tensor import Module, Tensor
+
+__all__ = ["LSTMPredictor"]
+
+
+class LSTMPredictor(Module):
+    """2-layer LSTM over the node sequence -> linear head -> sigmoid."""
+
+    def __init__(self, seed: int = 0, hidden: int = 256, num_layers: int = 2,
+                 max_nodes: int = 256, node_dim: int | None = None):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        nd = node_dim if node_dim is not None else node_feature_dim()
+        self.max_nodes = max_nodes
+        self.lstm = LSTM(nd, hidden, num_layers, rng)
+        self.head = Linear(hidden, 1, rng)
+        self.head.weight.data *= 0.1
+
+    def forward(self, features: GraphFeatures) -> Tensor:
+        x = features.node_features
+        if x.shape[0] > self.max_nodes:
+            idx = np.linspace(0, x.shape[0] - 1, self.max_nodes).astype(int)
+            x = x[idx]
+        seq = Tensor(x)  # (t, features) - unbatched sequence
+        outputs, _ = self.lstm(seq)
+        last = outputs[outputs.shape[0] - 1]
+        return self.head(last).sigmoid().reshape(())

@@ -1,0 +1,186 @@
+"""Command-line interface for the DNN-occu reproduction.
+
+Three subcommands mirror the system's three roles:
+
+* ``profile`` — simulate one model configuration on a device and print the
+  kernel-level profile summary (the Nsight Compute stand-in);
+* ``predict`` — train DNN-occu on a set of models and predict a target
+  model's occupancy without profiling it;
+* ``schedule`` — run the Table VI packing-strategy comparison on a
+  simulated cluster.
+
+Examples::
+
+    python -m repro profile --model resnet-50 --batch 64 --device A100
+    python -m repro predict --target resnet-50 --batch 64 --device A100
+    python -m repro schedule --gpus 4 --jobs 24 --device P40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+from .data import SEEN_MODELS, generate_dataset
+from .features import encode_graph
+from .gpu import get_device, profile_graph
+from .models import ModelConfig, build_model, list_models
+from .sched import (NvmlUtilPacking, OccuPacking, SlotPacking,
+                    generate_workload, simulate)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DNN-occu: GPU occupancy prediction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="simulate and profile one model")
+    p.add_argument("--model", required=True, choices=list_models())
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--device", default="A100")
+    p.add_argument("--top", type=int, default=5,
+                   help="show the N longest kernels")
+
+    p = sub.add_parser("predict", help="train DNN-occu, predict a target")
+    p.add_argument("--target", required=True, choices=list_models())
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--device", default="A100")
+    p.add_argument("--train-models", nargs="+", default=None,
+                   help="training architectures (default: paper seen set "
+                        "minus the target)")
+    p.add_argument("--configs-per-model", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=30)
+    p.add_argument("--hidden", type=int, default=48)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("schedule", help="packing-strategy comparison")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=24)
+    p.add_argument("--device", default="P40")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("trace", help="export a Chrome kernel timeline")
+    p.add_argument("--model", required=True, choices=list_models())
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--device", default="A100")
+    p.add_argument("--out", required=True,
+                   help="output .json path (open in chrome://tracing)")
+
+    p = sub.add_parser("dataset", help="generate and save a profile dataset")
+    p.add_argument("--models", nargs="+", required=True)
+    p.add_argument("--devices", nargs="+", default=["A100"])
+    p.add_argument("--configs-per-model", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output .npz path")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ModelConfig:
+    return ModelConfig(batch_size=args.batch, in_channels=args.channels,
+                       seq_len=args.seq_len)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    graph = build_model(args.model, _config(args))
+    prof = profile_graph(graph, device)
+    print(f"{args.model} (batch {args.batch}) on {device.name}")
+    print(f"  nodes/edges      : {graph.num_nodes}/{graph.num_edges}")
+    print(f"  GFLOPs           : {graph.total_flops() / 1e9:.2f}")
+    print(f"  kernels          : {prof.num_kernels}")
+    print(f"  wall time        : {prof.wall_time_s * 1e3:.2f} ms/iter")
+    print(f"  GPU occupancy    : {prof.occupancy:.2%}")
+    print(f"  NVML utilization : {prof.nvml_utilization:.2%}")
+    longest = sorted(prof.records, key=lambda r: r.duration_s,
+                     reverse=True)[:args.top]
+    print(f"  top {len(longest)} kernels by duration:")
+    for rec in longest:
+        print(f"    {rec.name:<34s} {rec.duration_s * 1e6:9.1f} us  "
+              f"occ {rec.occupancy:6.2%}  limiter {rec.limiter}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    train_models = args.train_models or [
+        m for m in SEEN_MODELS if m != args.target.lower()]
+    print(f"training on {train_models} ({device.name}) ...",
+          file=sys.stderr)
+    train = generate_dataset(train_models, [device],
+                             configs_per_model=args.configs_per_model,
+                             seed=args.seed)
+    model = DNNOccu(DNNOccuConfig(hidden=args.hidden, num_heads=4),
+                    seed=args.seed)
+    Trainer(model, TrainConfig(epochs=args.epochs, lr=1e-3,
+                               seed=args.seed)).fit(train)
+
+    graph = build_model(args.target, _config(args))
+    predicted = model.predict(encode_graph(graph, device))
+    prof = profile_graph(graph, device)
+    rel = abs(predicted - prof.occupancy) / prof.occupancy
+    print(f"{args.target} (batch {args.batch}) on {device.name}")
+    print(f"  predicted occupancy : {predicted:.2%}")
+    print(f"  measured  occupancy : {prof.occupancy:.2%}")
+    print(f"  relative error      : {rel:.2%}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    mix = ("lenet", "alexnet", "rnn", "lstm", "vgg-11", "resnet-18",
+           "resnet-34", "vit-t")
+    jobs = generate_workload(mix, device, args.jobs, seed=args.seed,
+                             iterations_range=(100, 600))
+    print(f"{args.jobs} jobs on {args.gpus}x {device.name}")
+    print(f"{'strategy':>20s} {'makespan':>10s} {'nvml util':>10s} "
+          f"{'stretch':>8s}")
+    for policy in (SlotPacking(), NvmlUtilPacking(), OccuPacking()):
+        res = simulate(jobs, args.gpus, policy)
+        print(f"{policy.name:>20s} {res.makespan_s:9.1f}s "
+              f"{res.avg_nvml_utilization:10.1%} {res.avg_stretch:8.3f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .gpu import to_chrome_trace
+    device = get_device(args.device)
+    graph = build_model(args.model, _config(args))
+    prof = profile_graph(graph, device)
+    with open(args.out, "w") as fh:
+        fh.write(to_chrome_trace(prof))
+    print(f"wrote {prof.num_kernels} kernel events to {args.out} "
+          f"(open in chrome://tracing)")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .data import save_dataset
+    devices = [get_device(d) for d in args.devices]
+    ds = generate_dataset(args.models, devices,
+                          configs_per_model=args.configs_per_model,
+                          seed=args.seed)
+    save_dataset(ds, args.out)
+    print(f"saved {len(ds)} labelled graphs to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"profile": _cmd_profile, "predict": _cmd_predict,
+            "schedule": _cmd_schedule, "trace": _cmd_trace,
+            "dataset": _cmd_dataset}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""DNN-occu: ANEE + Graphormer + Set Transformer occupancy predictor."""
+
+from .anee import ANEELayer
+from .graphormer import GraphormerLayer, MAX_SPD, spatial_encoding
+from .set_transformer import MAB, PMA, SAB, SetTransformerDecoder
+from .model import DNNOccu, DNNOccuConfig
+from .trainer import TrainConfig, Trainer, TrainHistory, fit_best_of
+from .ensemble import EnsemblePredictor, train_ensemble
+
+__all__ = [
+    "ANEELayer", "GraphormerLayer", "spatial_encoding", "MAX_SPD",
+    "MAB", "SAB", "PMA", "SetTransformerDecoder",
+    "DNNOccu", "DNNOccuConfig",
+    "Trainer", "TrainConfig", "TrainHistory", "fit_best_of",
+    "EnsemblePredictor", "train_ensemble",
+]

@@ -1,0 +1,112 @@
+"""DNN-occu: the full occupancy predictor (Section III-D, Fig. 3).
+
+Composition: ANEE layer(s) encode node+edge features → Graphormer layers
+propagate with structural attention → Set Transformer decoder pools the
+node set → MLP head emits occupancy.  The head's sigmoid keeps predictions
+in the physically valid (0, 1) occupancy range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features import GraphFeatures, edge_feature_dim, node_feature_dim
+from ..nn import Linear
+from ..tensor import Module, ModuleList, Tensor
+from .anee import ANEELayer
+from .graphormer import GraphormerLayer, spatial_encoding
+from .set_transformer import SetTransformerDecoder
+
+__all__ = ["DNNOccuConfig", "DNNOccu"]
+
+
+@dataclass(frozen=True)
+class DNNOccuConfig:
+    """Architecture hyperparameters.
+
+    Paper values (Section V): 1 ANEE layer, 2 Graphormer layers, 2 Set
+    Transformer decoder SABs, hidden 256.  ``hidden=64`` is a practical
+    CPU-scale default that preserves the architecture.
+    """
+
+    hidden: int = 64
+    anee_layers: int = 1
+    graphormer_layers: int = 2
+    set_decoder_sabs: int = 2
+    num_heads: int = 4
+    pma_seeds: int = 1
+
+    @classmethod
+    def paper(cls) -> "DNNOccuConfig":
+        """The exact configuration from the paper."""
+        return cls(hidden=256, anee_layers=1, graphormer_layers=2,
+                   set_decoder_sabs=2, num_heads=8, pma_seeds=1)
+
+
+class DNNOccu(Module):
+    """GNN-based GPU occupancy predictor for computation graphs."""
+
+    def __init__(self, config: DNNOccuConfig | None = None,
+                 seed: int = 0, node_dim: int | None = None,
+                 edge_dim: int | None = None):
+        super().__init__()
+        self.config = config or DNNOccuConfig()
+        rng = np.random.default_rng(seed)
+        cfg = self.config
+        nd = node_dim if node_dim is not None else node_feature_dim()
+        ed = edge_dim if edge_dim is not None else edge_feature_dim()
+
+        anee = []
+        n_in, e_in = nd, ed
+        for _ in range(cfg.anee_layers):
+            anee.append(ANEELayer(n_in, e_in, cfg.hidden, rng))
+            n_in = e_in = cfg.hidden
+        self.anee = ModuleList(anee)
+
+        self.graphormer = ModuleList([
+            GraphormerLayer(cfg.hidden, cfg.num_heads, 2 * cfg.hidden, rng)
+            for _ in range(cfg.graphormer_layers)
+        ])
+        self.decoder = SetTransformerDecoder(
+            cfg.hidden, cfg.num_heads, cfg.pma_seeds, cfg.set_decoder_sabs,
+            rng)
+        self.head_fc1 = Linear(cfg.pma_seeds * cfg.hidden, cfg.hidden, rng)
+        self.head_fc2 = Linear(cfg.hidden, 1, rng)
+        # Start the sigmoid near its linear region (predictions ~0.5):
+        # large initial logits saturate the output and stall training.
+        self.head_fc2.weight.data *= 0.1
+
+    def forward(self, features: GraphFeatures) -> Tensor:
+        """Predict occupancy for one encoded graph; returns a () Tensor."""
+        h = Tensor(features.node_features)
+        e = Tensor(features.edge_features)
+        for layer in self.anee:
+            h, e = layer(h, e, features.edge_index)
+
+        spd = self._spd(features)
+        for layer in self.graphormer:
+            h = layer(h, spd)
+
+        pooled = self.decoder(h)                      # (k, hidden)
+        flat = pooled.reshape(1, pooled.shape[0] * pooled.shape[1])
+        z = self.head_fc1(flat).relu()
+        out = self.head_fc2(z).sigmoid()
+        return out.reshape(())
+
+    def predict(self, features: GraphFeatures) -> float:
+        """Inference-only scalar prediction."""
+        from ..tensor import no_grad
+        with no_grad():
+            return float(self.forward(features).data)
+
+    @staticmethod
+    def _spd(features: GraphFeatures) -> np.ndarray:
+        """Cached shortest-path-distance buckets for the graph."""
+        cached = getattr(features, "_spd_cache", None)
+        if cached is None:
+            cached = spatial_encoding(features.num_nodes,
+                                      features.edge_index)
+            object.__setattr__(features, "_spd_cache", cached)
+        return cached

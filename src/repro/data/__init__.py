@@ -1,0 +1,12 @@
+"""Dataset generation (Table II domains, profiling labels, splits)."""
+
+from .dataset import (Dataset, GraphSample, SEEN_MODELS, UNSEEN_MODELS,
+                      config_domain, generate_dataset, sample_config)
+from .io import load_dataset, save_dataset
+from .stats import k_fold, summarize
+
+__all__ = [
+    "Dataset", "GraphSample", "SEEN_MODELS", "UNSEEN_MODELS",
+    "config_domain", "generate_dataset", "sample_config",
+    "save_dataset", "load_dataset", "k_fold", "summarize",
+]

@@ -1,0 +1,158 @@
+"""Dataset generation: Table II hyperparameter domains and profiling labels.
+
+Reproduces the paper's dataset protocol (Section IV-A): for every model a
+stochastic strategy samples hyperparameter configurations from the family's
+domain, each configuration is profiled (here: by the GPU simulator instead
+of Nsight Compute), configurations that exceed device memory are discarded
+(the paper ran "until OOM"), and the duration-weighted mean occupancy
+becomes the regression label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..features import GraphFeatures, encode_graph
+from ..gpu import DeviceSpec, OutOfMemoryError, profile_graph
+from ..models import MODEL_FAMILY, ModelConfig, build_model
+
+__all__ = ["GraphSample", "Dataset", "sample_config", "generate_dataset",
+           "SEEN_MODELS", "UNSEEN_MODELS", "config_domain"]
+
+#: the paper's training ("seen") models — Section V's 80/20 split set
+SEEN_MODELS = ("vit-t", "lstm", "rnn", "resnet-34", "resnet-18", "vgg-16",
+               "vgg-13", "vgg-11", "alexnet", "lenet")
+
+#: models whose configurations never appear in training (Section V)
+UNSEEN_MODELS = ("vit-s", "bert", "convnext-b", "resnet-50")
+
+
+@dataclass
+class GraphSample:
+    """One labelled example: encoded graph + measured occupancy."""
+
+    features: GraphFeatures
+    occupancy: float
+    nvml_utilization: float
+    wall_time_s: float
+    model_name: str
+    device_name: str
+    config: ModelConfig
+    num_nodes: int
+    num_edges: int
+
+
+@dataclass
+class Dataset:
+    """A list of samples with family/split bookkeeping."""
+
+    samples: list[GraphSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, i: int) -> GraphSample:
+        return self.samples[i]
+
+    def filter_models(self, names: Iterable[str]) -> "Dataset":
+        keys = {n.lower() for n in names}
+        return Dataset([s for s in self.samples
+                        if s.model_name.lower() in keys])
+
+    def filter_devices(self, names: Iterable[str]) -> "Dataset":
+        keys = {n.lower() for n in names}
+        return Dataset([s for s in self.samples
+                        if s.device_name.lower() in keys])
+
+    def split(self, train_frac: float,
+              rng: np.random.Generator) -> tuple["Dataset", "Dataset"]:
+        """Random split (the paper's 80/20 within seen models)."""
+        idx = rng.permutation(len(self.samples))
+        cut = int(round(train_frac * len(idx)))
+        return (Dataset([self.samples[i] for i in idx[:cut]]),
+                Dataset([self.samples[i] for i in idx[cut:]]))
+
+    def labels(self) -> np.ndarray:
+        return np.array([s.occupancy for s in self.samples])
+
+
+def config_domain(model_name: str) -> dict[str, tuple[int, ...]]:
+    """Table II hyperparameter domain for a model's family.
+
+    CNN-based: batch size 16..128 step 4, input channels 1..10.
+    RNN-based: batch size 128..512 step 8, sequence length 16..128 step 8.
+    Transformer-based: batch 16..128 step 4, channels 1..10, seq 20..512.
+    """
+    family = MODEL_FAMILY[model_name.lower()]
+    if family == "cnn":
+        return {"batch_size": tuple(range(16, 129, 4)),
+                "in_channels": tuple(range(1, 11))}
+    if family == "rnn":
+        return {"batch_size": tuple(range(128, 513, 8)),
+                "seq_len": tuple(range(16, 129, 8))}
+    return {"batch_size": tuple(range(16, 129, 4)),
+            "in_channels": tuple(range(1, 11)),
+            "seq_len": tuple(range(20, 513, 4))}
+
+
+def sample_config(model_name: str, rng: np.random.Generator,
+                  base: ModelConfig | None = None) -> ModelConfig:
+    """Draw one configuration from the model's Table II domain."""
+    domain = config_domain(model_name)
+    cfg = base or ModelConfig()
+    draws = {key: int(rng.choice(vals)) for key, vals in domain.items()}
+    return cfg.replace(**draws)
+
+
+def generate_dataset(model_names: Sequence[str], devices: Sequence[DeviceSpec],
+                     configs_per_model: int, seed: int = 0,
+                     base: ModelConfig | None = None,
+                     max_attempts_factor: int = 4,
+                     aggregation: str = "mean") -> Dataset:
+    """Profile ``configs_per_model`` sampled configs of each model per device.
+
+    OOM configurations are skipped and redrawn (up to
+    ``max_attempts_factor * configs_per_model`` attempts), mirroring the
+    paper's "run until OOM" boundary.  ``aggregation`` selects the kernel
+    aggregation for the label (Section III-A: mean / max / min; the paper
+    studies mean).
+    """
+    rng = np.random.default_rng(seed)
+    ds = Dataset()
+    for name in model_names:
+        for device in devices:
+            accepted = 0
+            attempts = 0
+            seen_cfgs: set[tuple] = set()
+            limit = max_attempts_factor * configs_per_model
+            while accepted < configs_per_model and attempts < limit:
+                attempts += 1
+                cfg = sample_config(name, rng, base)
+                key = (cfg.batch_size, cfg.in_channels, cfg.seq_len)
+                if key in seen_cfgs:
+                    continue
+                graph = build_model(name, cfg)
+                try:
+                    prof = profile_graph(graph, device)
+                except OutOfMemoryError:
+                    continue
+                seen_cfgs.add(key)
+                accepted += 1
+                ds.samples.append(GraphSample(
+                    features=encode_graph(graph, device),
+                    occupancy=prof.aggregate_occupancy(aggregation),
+                    nvml_utilization=prof.nvml_utilization,
+                    wall_time_s=prof.wall_time_s,
+                    model_name=name.lower(),
+                    device_name=device.name,
+                    config=cfg,
+                    num_nodes=graph.num_nodes,
+                    num_edges=graph.num_edges,
+                ))
+    return ds

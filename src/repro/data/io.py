@@ -1,0 +1,82 @@
+"""Dataset persistence: save/load profiled datasets as ``.npz`` archives.
+
+Profiling (even simulated) is the expensive step of the pipeline, so
+datasets are first-class artifacts: :func:`save_dataset` writes every
+sample's feature arrays and metadata into one compressed archive that
+:func:`load_dataset` restores bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..features import GraphFeatures
+from ..models import ModelConfig
+from .dataset import Dataset, GraphSample
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` (a ``.npz`` file)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = {"version": _FORMAT_VERSION, "num_samples": len(dataset),
+            "samples": []}
+    for i, s in enumerate(dataset):
+        arrays[f"s{i}_node_features"] = s.features.node_features
+        arrays[f"s{i}_edge_features"] = s.features.edge_features
+        arrays[f"s{i}_edge_index"] = s.features.edge_index
+        meta["samples"].append({
+            "occupancy": s.occupancy,
+            "nvml_utilization": s.nvml_utilization,
+            "wall_time_s": s.wall_time_s,
+            "model_name": s.model_name,
+            "device_name": s.device_name,
+            "num_nodes": s.num_nodes,
+            "num_edges": s.num_edges,
+            "config": {
+                "batch_size": s.config.batch_size,
+                "in_channels": s.config.in_channels,
+                "image_size": s.config.image_size,
+                "seq_len": s.config.seq_len,
+                "input_size": s.config.input_size,
+                "hidden_size": s.config.hidden_size,
+                "num_classes": s.config.num_classes,
+            },
+        })
+    arrays["meta_json"] = np.array(json.dumps(meta))
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Restore a dataset written by :func:`save_dataset`."""
+    ds = Dataset()
+    with np.load(path) as data:
+        meta = json.loads(str(data["meta_json"]))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {meta.get('version')}")
+        for i, m in enumerate(meta["samples"]):
+            features = GraphFeatures(
+                node_features=data[f"s{i}_node_features"],
+                edge_features=data[f"s{i}_edge_features"],
+                edge_index=data[f"s{i}_edge_index"].astype(np.intp),
+                model_name=m["model_name"],
+                device_name=m["device_name"],
+            )
+            ds.samples.append(GraphSample(
+                features=features,
+                occupancy=float(m["occupancy"]),
+                nvml_utilization=float(m["nvml_utilization"]),
+                wall_time_s=float(m["wall_time_s"]),
+                model_name=m["model_name"],
+                device_name=m["device_name"],
+                config=ModelConfig(**m["config"]),
+                num_nodes=int(m["num_nodes"]),
+                num_edges=int(m["num_edges"]),
+            ))
+    return ds

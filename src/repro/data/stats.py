@@ -1,0 +1,67 @@
+"""Dataset utilities: k-fold splits and summary statistics."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..models import MODEL_FAMILY
+from .dataset import Dataset
+
+__all__ = ["k_fold", "summarize"]
+
+
+def k_fold(dataset: Dataset, k: int,
+           rng: np.random.Generator) -> Iterator[tuple[Dataset, Dataset]]:
+    """Yield ``k`` (train, validation) splits covering every sample once.
+
+    Fold sizes differ by at most one sample; the permutation is drawn from
+    ``rng`` so folds are reproducible by seed.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if len(dataset) < k:
+        raise ValueError(f"dataset of {len(dataset)} cannot make {k} folds")
+    idx = rng.permutation(len(dataset))
+    folds = np.array_split(idx, k)
+    for i in range(k):
+        val_idx = set(folds[i].tolist())
+        train = Dataset([dataset[j] for j in idx if j not in val_idx])
+        val = Dataset([dataset[j] for j in folds[i]])
+        yield train, val
+
+
+def summarize(dataset: Dataset) -> dict:
+    """Summary statistics: per-family and per-device label distributions.
+
+    Returns a nested dict with counts, occupancy mean/min/max, and graph
+    size ranges — the sanity view printed by the dataset CLI and examples.
+    """
+    if len(dataset) == 0:
+        return {"count": 0, "families": {}, "devices": {}}
+
+    def stats(samples) -> dict:
+        occ = np.array([s.occupancy for s in samples])
+        nodes = np.array([s.num_nodes for s in samples])
+        return {
+            "count": len(samples),
+            "occupancy_mean": float(occ.mean()),
+            "occupancy_min": float(occ.min()),
+            "occupancy_max": float(occ.max()),
+            "nodes_min": int(nodes.min()),
+            "nodes_max": int(nodes.max()),
+        }
+
+    by_family: dict[str, list] = {}
+    by_device: dict[str, list] = {}
+    for s in dataset:
+        family = MODEL_FAMILY.get(s.model_name, "unknown")
+        by_family.setdefault(family, []).append(s)
+        by_device.setdefault(s.device_name, []).append(s)
+    return {
+        "count": len(dataset),
+        "overall": stats(list(dataset)),
+        "families": {k: stats(v) for k, v in sorted(by_family.items())},
+        "devices": {k: stats(v) for k, v in sorted(by_device.items())},
+    }

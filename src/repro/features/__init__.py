@@ -1,0 +1,11 @@
+"""Feature engineering (Table I) for graphs, nodes, and edges."""
+
+from .encode import (GraphFeatures, edge_feature_dim, encode_edge,
+                     encode_graph, encode_node, feature_blocks,
+                     node_feature_dim, zero_feature_block)
+
+__all__ = [
+    "GraphFeatures", "encode_graph", "encode_node", "encode_edge",
+    "node_feature_dim", "edge_feature_dim",
+    "feature_blocks", "zero_feature_block",
+]

@@ -1,0 +1,233 @@
+"""Table I feature engineering: node and edge feature vectors.
+
+Node features (Section III-C):
+
+* operator type — one-hot over the canonical operator set;
+* hyperparameters — a fixed slot layout of the operator's hyperparameter
+  values (kernel size, stride, channels, hidden size, ...);
+* temporary tensor size — workspace bytes;
+* input / output tensor sizes — total elements and the output shape dims;
+* operator FLOPs;
+* GPU FLOPS, GPU memory capacity, number of SMs — runtime configuration.
+
+Edge features: edge type one-hot (forward / backward), delivered tensor
+size, and processing bandwidth (device memory bandwidth — the rate at which
+the delivered tensor moves).
+
+Magnitudes spanning many orders (FLOPs, bytes) are ``log1p``-compressed and
+divided by a fixed constant so every feature is O(1) without any
+dataset-dependent statistics — which is what lets a trained predictor see
+unseen models without renormalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import (ComputationGraph, DataEdge, OP_TYPES, OpNode,
+                     op_type_index, tensor_numel)
+from ..gpu import DeviceSpec
+
+__all__ = ["GraphFeatures", "encode_graph", "encode_node", "encode_edge",
+           "node_feature_dim", "edge_feature_dim"]
+
+#: log1p(x) / _LOG_SCALE keeps even exa-scale magnitudes within ~[0, 1.5]
+_LOG_SCALE = 28.0
+
+#: hyperparameter slot layout (zero when an operator lacks the attribute)
+_HPARAM_SLOTS = (
+    "kernel_r", "kernel_s", "stride_h", "stride_w", "padding_h", "padding_w",
+    "groups", "in_channels", "out_channels", "in_features", "out_features",
+    "hidden_size", "seq_len", "batch", "embed_dim", "axis",
+)
+
+_EDGE_TYPES = ("forward", "backward")
+
+
+def _log_scale(x: float) -> float:
+    return float(np.log1p(max(0.0, x)) / _LOG_SCALE)
+
+
+def _hparam_vector(node: OpNode) -> np.ndarray:
+    a = node.attrs
+    vals = np.zeros(len(_HPARAM_SLOTS))
+
+    def put(slot: str, v) -> None:
+        vals[_HPARAM_SLOTS.index(slot)] = _log_scale(float(v))
+
+    if "kernel_size" in a:
+        put("kernel_r", a["kernel_size"][0])
+        put("kernel_s", a["kernel_size"][1])
+    if "stride" in a:
+        put("stride_h", a["stride"][0])
+        put("stride_w", a["stride"][1])
+    if "padding" in a:
+        put("padding_h", a["padding"][0])
+        put("padding_w", a["padding"][1])
+    for key in ("groups", "in_channels", "out_channels", "in_features",
+                "out_features", "hidden_size", "seq_len", "batch",
+                "embed_dim"):
+        if key in a:
+            put(key, a[key])
+    if "axis" in a:
+        vals[_HPARAM_SLOTS.index("axis")] = float(a["axis"]) / 8.0
+    return vals
+
+
+def _device_vector(device: DeviceSpec) -> np.ndarray:
+    return np.array([
+        device.fp32_tflops / 50.0,
+        device.mem_capacity_gb / 100.0,
+        device.sm_count / 150.0,
+        device.max_warps_per_sm / 64.0,
+        device.mem_bandwidth_gbs / 2500.0,
+    ])
+
+
+#: number of device features appended to every node
+_DEVICE_DIM = 5
+#: output-shape dims retained (batch, channel/feature, spatial, spatial)
+_SHAPE_DIMS = 4
+
+
+def node_feature_dim() -> int:
+    """Length of the node feature vector."""
+    # one-hot + hyperparams + (temp, in, flops, out) + log shape +
+    # linear batch channel + device
+    return (len(OP_TYPES) + len(_HPARAM_SLOTS) + 4 + _SHAPE_DIMS + 1
+            + _DEVICE_DIM)
+
+
+def edge_feature_dim() -> int:
+    """Length of the edge feature vector."""
+    return len(_EDGE_TYPES) + 2
+
+
+def encode_node(node: OpNode, device: DeviceSpec) -> np.ndarray:
+    """Feature vector for one operator node (Table I node features)."""
+    onehot = np.zeros(len(OP_TYPES))
+    onehot[op_type_index(node.op_type)] = 1.0
+
+    sizes = np.array([
+        _log_scale(node.temp_bytes),          # temporary tensor size
+        _log_scale(node.input_numel),         # input tensor size
+        _log_scale(node.output_numel),        # output tensor size
+    ])
+    shape = np.zeros(_SHAPE_DIMS)
+    for i, s in enumerate(node.output_shape[:_SHAPE_DIMS]):
+        shape[i] = _log_scale(s)
+    # Linear batch channel: log1p/28 compresses a batch-size doubling to a
+    # ~0.02 feature delta, too faint for small-data training.  Only the
+    # leading (batch) dimension gets a linear companion — its Table II
+    # domain is shared across every model family, so the channel never
+    # extrapolates on unseen architectures (unlike channel/hidden dims).
+    batch_lin = np.array([
+        min(4.0, node.output_shape[0] / 128.0) if node.output_shape else 0.0
+    ])
+    flops = np.array([_log_scale(node.flops)])
+    # Layout: [one-hot | hyperparams | temp, in | flops | out |
+    #          log shape | linear batch | device]
+    return np.concatenate([
+        onehot, _hparam_vector(node), sizes[:2], flops, sizes[2:], shape,
+        batch_lin, _device_vector(device),
+    ])
+
+
+def encode_edge(edge: DataEdge, device: DeviceSpec) -> np.ndarray:
+    """Feature vector for one data-flow edge (Table I edge features)."""
+    onehot = np.zeros(len(_EDGE_TYPES))
+    onehot[_EDGE_TYPES.index(edge.edge_type)] = 1.0
+    return np.concatenate([
+        onehot,
+        [_log_scale(edge.tensor_numel)],
+        [device.mem_bandwidth_gbs / 2500.0],
+    ])
+
+
+def feature_blocks() -> dict[str, slice]:
+    """Column ranges of each logical block in the node feature vector.
+
+    Used by feature-ablation experiments to zero out one block at a time.
+    """
+    n_op = len(OP_TYPES)
+    n_hp = len(_HPARAM_SLOTS)
+    blocks = {}
+    start = 0
+    for name, width in (("op_type", n_op), ("hyperparams", n_hp),
+                        ("sizes", 2), ("flops", 1), ("out_size", 1),
+                        ("shape", _SHAPE_DIMS), ("batch_linear", 1),
+                        ("device", _DEVICE_DIM)):
+        blocks[name] = slice(start, start + width)
+        start += width
+    assert start == node_feature_dim()
+    return blocks
+
+
+def zero_feature_block(features: "GraphFeatures", block: str,
+                       ) -> "GraphFeatures":
+    """Copy of ``features`` with one node-feature block zeroed.
+
+    ``block`` is a key of :func:`feature_blocks`, or ``"edges"`` to zero
+    the edge features instead.
+    """
+    if block == "edges":
+        return GraphFeatures(
+            node_features=features.node_features.copy(),
+            edge_features=np.zeros_like(features.edge_features),
+            edge_index=features.edge_index,
+            model_name=features.model_name,
+            device_name=features.device_name)
+    blocks = feature_blocks()
+    if block not in blocks:
+        raise KeyError(f"unknown block {block!r}; "
+                       f"known: {sorted(blocks)} + ['edges']")
+    nf = features.node_features.copy()
+    nf[:, blocks[block]] = 0.0
+    return GraphFeatures(node_features=nf,
+                         edge_features=features.edge_features.copy(),
+                         edge_index=features.edge_index,
+                         model_name=features.model_name,
+                         device_name=features.device_name)
+
+
+@dataclass
+class GraphFeatures:
+    """Dense feature arrays for one (graph, device) pair.
+
+    ``edge_index`` is a ``(2, m)`` int array of (src, dst) positions into
+    the node arrays (positions follow node-id sort order).
+    """
+
+    node_features: np.ndarray   # (n, F_n)
+    edge_features: np.ndarray   # (m, F_e)
+    edge_index: np.ndarray      # (2, m)
+    model_name: str = ""
+    device_name: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+
+def encode_graph(graph: ComputationGraph,
+                 device: DeviceSpec) -> GraphFeatures:
+    """Encode a full computation graph for ``device``."""
+    order = sorted(graph.nodes)
+    pos = {nid: i for i, nid in enumerate(order)}
+    nf = np.stack([encode_node(graph.nodes[nid], device) for nid in order]) \
+        if order else np.zeros((0, node_feature_dim()))
+    if graph.edges:
+        ef = np.stack([encode_edge(e, device) for e in graph.edges])
+        ei = np.array([[pos[e.src] for e in graph.edges],
+                       [pos[e.dst] for e in graph.edges]], dtype=np.intp)
+    else:
+        ef = np.zeros((0, edge_feature_dim()))
+        ei = np.zeros((2, 0), dtype=np.intp)
+    return GraphFeatures(node_features=nf, edge_features=ef, edge_index=ei,
+                         model_name=graph.name, device_name=device.name)

@@ -1,0 +1,110 @@
+"""GPU device specifications (Table III systems).
+
+Values are taken from NVIDIA's published datasheets / CUDA occupancy
+calculator tables for the three GPUs the paper evaluates on:
+
+* **A100** (Ampere, GA100) — System-1
+* **GeForce RTX 2080 Ti** (Turing, TU102) — System-2
+* **Tesla P40** (Pascal, GP102) — System-3
+
+These feed two places: the occupancy calculator (hardware limits) and the
+Table I device features (GPU FLOPS, memory capacity, SM count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100", "RTX2080TI", "P40", "DEVICES", "get_device"]
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of one GPU."""
+
+    name: str
+    arch: str
+    sm_count: int
+    #: maximum resident warps per SM (occupancy denominator)
+    max_warps_per_sm: int
+    #: maximum resident thread blocks per SM
+    max_blocks_per_sm: int
+    #: 32-bit registers per SM
+    registers_per_sm: int
+    #: register allocation granularity (registers, per warp)
+    register_alloc_unit: int
+    #: shared memory per SM available to resident blocks (bytes)
+    shared_mem_per_sm: int
+    #: shared memory allocation granularity (bytes)
+    shared_mem_alloc_unit: int
+    #: peak FP32 throughput (TFLOP/s)
+    fp32_tflops: float
+    #: DRAM bandwidth (GB/s)
+    mem_bandwidth_gbs: float
+    #: device memory capacity (GB)
+    mem_capacity_gb: float
+    #: per-kernel launch overhead (seconds) — CPU-side driver cost
+    launch_overhead_s: float = 4e-6
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * WARP_SIZE
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.fp32_tflops * 1e12
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """DRAM bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def mem_capacity_bytes(self) -> int:
+        return int(self.mem_capacity_gb * 2**30)
+
+
+A100 = DeviceSpec(
+    name="A100", arch="Ampere", sm_count=108,
+    max_warps_per_sm=64, max_blocks_per_sm=32,
+    registers_per_sm=65536, register_alloc_unit=256,
+    shared_mem_per_sm=164 * 1024, shared_mem_alloc_unit=128,
+    fp32_tflops=19.5, mem_bandwidth_gbs=2039.0, mem_capacity_gb=80.0,
+    launch_overhead_s=3.5e-6,
+)
+
+RTX2080TI = DeviceSpec(
+    name="RTX2080Ti", arch="Turing", sm_count=68,
+    max_warps_per_sm=32, max_blocks_per_sm=16,
+    registers_per_sm=65536, register_alloc_unit=256,
+    shared_mem_per_sm=64 * 1024, shared_mem_alloc_unit=128,
+    fp32_tflops=13.45, mem_bandwidth_gbs=616.0, mem_capacity_gb=11.0,
+    launch_overhead_s=4.5e-6,
+)
+
+P40 = DeviceSpec(
+    name="P40", arch="Pascal", sm_count=30,
+    max_warps_per_sm=64, max_blocks_per_sm=32,
+    registers_per_sm=65536, register_alloc_unit=256,
+    shared_mem_per_sm=96 * 1024, shared_mem_alloc_unit=256,
+    fp32_tflops=11.76, mem_bandwidth_gbs=347.0, mem_capacity_gb=22.5,
+    launch_overhead_s=5.5e-6,
+)
+
+#: registry of Table III devices
+DEVICES: dict[str, DeviceSpec] = {
+    "A100": A100,
+    "RTX2080Ti": RTX2080TI,
+    "P40": P40,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by (case-insensitive) name."""
+    for key, dev in DEVICES.items():
+        if key.lower() == name.lower():
+            return dev
+    raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")

@@ -1,0 +1,298 @@
+"""Operator → kernel lowering (the cuDNN/cuBLAS stand-in).
+
+Each computation-graph operator is lowered to one or more GPU kernel
+launches with concrete launch configurations (grid size, threads per block,
+registers per thread, shared memory per block).  The heuristics mimic how
+vendor libraries pick kernels:
+
+* GEMM-like operators choose a tile from a small catalogue based on the
+  problem shape — large tiles use many registers and much shared memory
+  (high throughput, low occupancy), small tiles the reverse;
+* 3x3 stride-1 convolutions take a Winograd-flavoured variant;
+* elementwise operators use vectorized 128-thread kernels (high occupancy);
+* row reductions (softmax, layer norm) launch one block per row with
+  shared-memory scratch;
+* recurrent operators launch one fused GEMM + one pointwise kernel per
+  timestep (the ``count`` field collapses the repetition).
+
+The exact constants are not claimed to match any particular cuDNN version;
+what matters for the reproduction is that the mapping is *opaque to the
+predictor*, deterministic, device-dependent, and produces the occupancy
+regimes real DL workloads show (GEMM-bound models ≈ 12–50%, elementwise-
+heavy models higher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from ..graph import DTYPE_BYTES, OpNode, tensor_numel
+from .device import DeviceSpec
+
+__all__ = ["KernelLaunch", "lower_node", "GemmShape"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel launch (repeated ``count`` times back-to-back)."""
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    regs_per_thread: int
+    smem_per_block: int
+    #: FLOPs of a single launch
+    flops: float
+    #: DRAM bytes moved by a single launch
+    bytes_moved: float
+    #: identical back-to-back launches (e.g. LSTM timesteps)
+    count: int = 1
+    #: efficiency of the kernel's inner loop at full occupancy (0..1]
+    compute_efficiency: float = 0.7
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Logical GEMM problem: ``batch`` independent (m x k) @ (k x n)."""
+
+    m: int
+    n: int
+    k: int
+    batch: int = 1
+
+
+# --------------------------------------------------------------------------- #
+# GEMM tile catalogue: (tile_m, tile_n, threads, regs/thread, smem bytes,
+# inner-loop efficiency).  Mirrors the ampere_sgemm_{128x128,64x64,32x32}
+# family naming.
+# --------------------------------------------------------------------------- #
+_GEMM_TILES = (
+    (128, 128, 256, 80, 33 * 1024, 0.78),
+    (64, 64, 128, 64, 17 * 1024, 0.62),
+    (32, 32, 64, 40, 9 * 1024, 0.45),
+)
+
+
+def _select_gemm_tile(shape: GemmShape):
+    """Pick the largest tile the problem can fill reasonably."""
+    for tm, tn, threads, regs, smem, eff in _GEMM_TILES:
+        if shape.m >= tm and shape.n >= tn:
+            return tm, tn, threads, regs, smem, eff
+    return _GEMM_TILES[-1]
+
+
+def _lower_gemm(name: str, shape: GemmShape, weight_bytes: float,
+                io_bytes: float, count: int = 1) -> KernelLaunch:
+    tm, tn, threads, regs, smem, eff = _select_gemm_tile(shape)
+    grid = ceil(shape.m / tm) * ceil(shape.n / tn) * shape.batch
+    # Deep reductions spill into extra unrolled registers.
+    if shape.k >= 1024:
+        regs = min(255, regs + 16)
+    flops = 2.0 * shape.m * shape.n * shape.k * shape.batch
+    return KernelLaunch(
+        name=f"{name}_{tm}x{tn}", grid_blocks=grid,
+        threads_per_block=threads, regs_per_thread=regs,
+        smem_per_block=smem, flops=flops,
+        bytes_moved=weight_bytes + io_bytes, count=count,
+        compute_efficiency=eff,
+    )
+
+
+def _elementwise_kernel(name: str, numel: int, bytes_moved: float,
+                        flops: float, regs: int = 18,
+                        count: int = 1) -> KernelLaunch:
+    threads = 128
+    vec = 4  # float4 vectorization
+    grid = max(1, ceil(numel / (threads * vec)))
+    return KernelLaunch(
+        name=name, grid_blocks=grid, threads_per_block=threads,
+        regs_per_thread=regs, smem_per_block=0, flops=flops,
+        bytes_moved=bytes_moved, count=count, compute_efficiency=0.85,
+    )
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _row_reduce_kernel(name: str, rows: int, cols: int, bytes_moved: float,
+                       flops: float, count: int = 1) -> KernelLaunch:
+    threads = min(1024, max(64, _next_pow2(min(cols, 1024))))
+    smem = 2 * threads * DTYPE_BYTES
+    return KernelLaunch(
+        name=name, grid_blocks=max(1, rows), threads_per_block=threads,
+        regs_per_thread=26, smem_per_block=smem, flops=flops,
+        bytes_moved=bytes_moved, count=count, compute_efficiency=0.6,
+    )
+
+
+def _io_bytes(node: OpNode) -> float:
+    return float(node.input_bytes + node.output_bytes)
+
+
+# --------------------------------------------------------------------------- #
+# Per-operator lowering
+# --------------------------------------------------------------------------- #
+def lower_node(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:
+    """Lower one operator to its kernel launches on ``device``.
+
+    The device only affects lowering marginally (Pascal lacks the largest
+    tile's shared-memory carveout, pushing big GEMMs to the 64x64 tile) —
+    most device dependence enters later through the occupancy calculator
+    and roofline timing.
+    """
+    op = node.op_type
+    attrs = node.attrs
+
+    if op == "Input":
+        return []
+
+    if op in ("Conv2d", "DepthwiseConv2d"):
+        return _lower_conv(node, device)
+
+    if op == "Gemm":
+        batch = max(1, node.output_numel // node.output_shape[-1])
+        shape = GemmShape(m=batch, n=attrs["out_features"],
+                          k=attrs["in_features"])
+        w_bytes = attrs["in_features"] * attrs["out_features"] * DTYPE_BYTES
+        return [_clamp_tile(_lower_gemm("sgemm", shape, w_bytes,
+                                        _io_bytes(node)), device)]
+
+    if op == "MatMul":
+        m, n = node.output_shape[-2], node.output_shape[-1]
+        k = attrs.get("reduce_dim", node.input_shapes[0][-1])
+        batch = max(1, tensor_numel(node.output_shape[:-2]))
+        shape = GemmShape(m=m, n=n, k=k, batch=batch)
+        return [_clamp_tile(_lower_gemm("sgemm_batched", shape, 0.0,
+                                        _io_bytes(node)), device)]
+
+    if op in ("ReLU", "ReLU6", "GELU", "SiLU", "Sigmoid", "Tanh", "Add",
+              "Mul", "Div", "Scale", "Erf", "Identity", "Pow", "Sqrt",
+              "Shift", "PatchMerge", "Pad"):
+        return [_elementwise_kernel(
+            f"vectorized_elementwise_{op.lower()}", node.output_numel,
+            _io_bytes(node), float(node.flops))]
+
+    if op in ("Concat", "Split", "Slice", "Flatten", "Reshape", "Transpose"):
+        # Data movement (or free view).  Transpose/concat copy memory.
+        if op in ("Flatten", "Reshape"):
+            return []  # views: no kernel
+        return [_elementwise_kernel(f"copy_{op.lower()}", node.output_numel,
+                                    _io_bytes(node), 0.0, regs=14)]
+
+    if op == "BatchNorm2d":
+        return [_elementwise_kernel("bn_inference_scale_shift",
+                                    node.output_numel, _io_bytes(node),
+                                    float(node.flops), regs=22)]
+
+    if op in ("LayerNorm", "GroupNorm", "Softmax", "ReduceMean"):
+        cols = node.output_shape[-1] if node.output_shape else 1
+        rows = max(1, node.output_numel // max(1, cols))
+        return [_row_reduce_kernel(f"{op.lower()}_rowwise", rows, cols,
+                                   _io_bytes(node), float(node.flops))]
+
+    if op in ("MaxPool2d", "AvgPool2d"):
+        return [_elementwise_kernel(f"pooling_{op.lower()}",
+                                    node.output_numel, _io_bytes(node),
+                                    float(node.flops), regs=30)]
+
+    if op in ("AdaptiveAvgPool2d", "GlobalAvgPool"):
+        n, c = node.output_shape[0], node.output_shape[1]
+        in_hw = (tensor_numel(node.input_shapes[0]) // max(1, n * c)
+                 if node.input_shapes else 1)
+        return [_row_reduce_kernel("global_pool_reduce", n * c, in_hw,
+                                   _io_bytes(node), float(node.flops))]
+
+    if op == "Embedding":
+        return [_elementwise_kernel("embedding_gather", node.output_numel,
+                                    _io_bytes(node), 0.0, regs=20)]
+
+    if op in ("LSTM", "RNN"):
+        return _lower_recurrent(node, device)
+
+    raise KeyError(f"no kernel lowering for operator {op!r}")
+
+
+def _lower_conv(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:
+    attrs = node.attrs
+    n, k_out, p, q = node.output_shape
+    c = attrs["in_channels"] // attrs.get("groups", 1)
+    r, s = attrs["kernel_size"]
+    stride = attrs.get("stride", (1, 1))
+    w_bytes = attrs["out_channels"] * c * r * s * DTYPE_BYTES
+
+    if node.op_type == "DepthwiseConv2d":
+        return [_elementwise_kernel("depthwise_conv2d", node.output_numel,
+                                    _io_bytes(node) + w_bytes,
+                                    float(node.flops), regs=40)]
+
+    if (r, s) == (3, 3) and stride == (1, 1):
+        # Winograd F(2x2, 3x3): transform + batched GEMM fused variant.
+        shape = GemmShape(m=n * ceil(p / 2) * ceil(q / 2), n=k_out, k=c * 16)
+        kern = _lower_gemm("winograd_fused_conv", shape, w_bytes,
+                           _io_bytes(node))
+        # Winograd reduces arithmetic ~2.25x; keep graph-level FLOPs but
+        # reflect the saving in efficiency instead of FLOPs.
+        kern = KernelLaunch(
+            name=kern.name, grid_blocks=kern.grid_blocks,
+            threads_per_block=kern.threads_per_block,
+            regs_per_thread=min(255, kern.regs_per_thread + 16),
+            smem_per_block=kern.smem_per_block,
+            flops=float(node.flops), bytes_moved=kern.bytes_moved,
+            compute_efficiency=min(0.95, kern.compute_efficiency * 1.35),
+        )
+        return [_clamp_tile(kern, device)]
+
+    # Implicit GEMM: M = N*P*Q output pixels, N = K filters, K = C*R*S.
+    shape = GemmShape(m=n * p * q, n=k_out, k=c * r * s)
+    return [_clamp_tile(_lower_gemm("implicit_gemm_conv", shape, w_bytes,
+                                    _io_bytes(node)), device)]
+
+
+def _lower_recurrent(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:
+    attrs = node.attrs
+    batch = attrs["batch"]
+    seq = attrs["seq_len"]
+    hidden = attrs["hidden_size"]
+    inp = attrs["input_size"]
+    layers = attrs.get("num_layers", 1)
+    gates = 4 if node.op_type == "LSTM" else 1
+    steps = seq * layers
+
+    shape = GemmShape(m=batch, n=gates * hidden, k=inp + hidden)
+    gemm_io = (batch * (inp + hidden) + batch * gates * hidden) * DTYPE_BYTES
+    w_bytes = gates * hidden * (inp + hidden) * DTYPE_BYTES
+    gemm = _clamp_tile(
+        _lower_gemm(f"{node.op_type.lower()}_gemm", shape, w_bytes,
+                    float(gemm_io), count=steps), device)
+
+    point_numel = batch * hidden
+    pointwise = _elementwise_kernel(
+        f"{node.op_type.lower()}_pointwise", point_numel,
+        float(2 * gates * point_numel * DTYPE_BYTES),
+        float(8 * gates * point_numel), regs=32, count=steps)
+    return [gemm, pointwise]
+
+
+def _clamp_tile(kern: KernelLaunch, device: DeviceSpec) -> KernelLaunch:
+    """Demote kernels whose shared-memory tile exceeds the device's SM.
+
+    Pascal/Turing cannot host the 33 KB 128x128 tile twice; vendor
+    libraries fall back to the 64x64 variant there.
+    """
+    if kern.smem_per_block <= device.shared_mem_per_sm // 2:
+        return kern
+    tm, tn, threads, regs, smem, eff = _GEMM_TILES[1]
+    scale = (128 * 128) / (tm * tn)
+    return KernelLaunch(
+        name=kern.name.replace("128x128", "64x64"),
+        grid_blocks=int(kern.grid_blocks * scale),
+        threads_per_block=threads, regs_per_thread=regs,
+        smem_per_block=smem, flops=kern.flops,
+        bytes_moved=kern.bytes_moved, count=kern.count,
+        compute_efficiency=eff,
+    )

@@ -1,0 +1,90 @@
+"""Device-memory model: liveness-based peak activation analysis.
+
+The OOM filter (dataset generation "ran until OOM") and the memory-aware
+packing policy both need peak memory.  This module computes it properly:
+walking the topological execution order, an operator's output stays live
+until its last consumer has executed; peak memory is the maximum live set
+plus weights and the largest kernel workspace.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationGraph, DTYPE_BYTES
+
+__all__ = ["peak_activation_bytes", "weight_bytes", "peak_memory_bytes",
+           "ALLOCATOR_OVERHEAD_BYTES"]
+
+#: CUDA context + caching-allocator slack
+ALLOCATOR_OVERHEAD_BYTES = 512 * 2**20
+
+
+def peak_activation_bytes(graph: ComputationGraph) -> int:
+    """Peak bytes of simultaneously-live activations during execution.
+
+    Liveness: an output buffer is allocated when its node executes and
+    freed after the last of its consumers executes.  Outputs with no
+    consumers (graph results) stay live to the end.
+    """
+    order = graph.topological_order()
+    position = {nid: i for i, nid in enumerate(order)}
+
+    # Last-use position of each node's output.
+    last_use: dict[int, int] = {}
+    for nid in order:
+        consumers = graph.successors(nid)
+        if consumers:
+            last_use[nid] = max(position[c] for c in consumers)
+        else:
+            last_use[nid] = len(order) - 1  # result tensor: live to the end
+
+    live = 0
+    peak = 0
+    # Buffers to free after each step.
+    frees: dict[int, list[int]] = {}
+    for nid, end in last_use.items():
+        frees.setdefault(end, []).append(nid)
+
+    for step, nid in enumerate(order):
+        live += graph.nodes[nid].output_bytes
+        peak = max(peak, live)
+        for freed in frees.get(step, ()):
+            live -= graph.nodes[freed].output_bytes
+    return peak
+
+
+def weight_bytes(graph: ComputationGraph) -> int:
+    """Total parameter bytes of the model (FP32)."""
+    total = 0
+    for node in graph.nodes.values():
+        a = node.attrs
+        if node.op_type in ("Conv2d", "DepthwiseConv2d"):
+            r, s = a["kernel_size"]
+            total += (a["out_channels"] * a["in_channels"]
+                      // a.get("groups", 1)) * r * s * DTYPE_BYTES
+            total += a["out_channels"] * DTYPE_BYTES  # bias
+        elif node.op_type == "Gemm":
+            total += (a["in_features"] * a["out_features"]
+                      + a["out_features"]) * DTYPE_BYTES
+        elif node.op_type == "Embedding":
+            total += a["vocab_size"] * a["embed_dim"] * DTYPE_BYTES
+        elif node.op_type in ("LSTM", "RNN"):
+            gates = 4 if node.op_type == "LSTM" else 1
+            h, i = a["hidden_size"], a["input_size"]
+            layers = a.get("num_layers", 1)
+            per_layer_first = gates * h * (i + h + 2)
+            per_layer_rest = gates * h * (h + h + 2)
+            total += (per_layer_first
+                      + max(0, layers - 1) * per_layer_rest) * DTYPE_BYTES
+        elif node.op_type in ("BatchNorm2d", "LayerNorm", "GroupNorm"):
+            width = node.output_shape[1] if len(node.output_shape) > 1 \
+                else node.output_shape[-1]
+            total += 2 * width * DTYPE_BYTES  # scale + shift
+    return total
+
+
+def peak_memory_bytes(graph: ComputationGraph) -> int:
+    """Full working-set estimate: weights + live activations + workspace
+    + allocator overhead.  The quantity checked against device capacity."""
+    workspace = max((n.temp_bytes for n in graph.nodes.values()), default=0)
+    return (weight_bytes(graph) + peak_activation_bytes(graph) + workspace
+            + ALLOCATOR_OVERHEAD_BYTES)

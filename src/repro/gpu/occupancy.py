@@ -1,0 +1,147 @@
+"""CUDA occupancy calculator.
+
+Implements the resource-limit computation NVIDIA documents for its
+occupancy calculator: the number of thread blocks resident on one SM is the
+minimum over four limits (warp slots, block slots, register file, shared
+memory), each with the hardware's allocation granularity.  *Theoretical
+occupancy* is ``active_warps / max_warps_per_sm``.
+
+*Achieved occupancy* — the quantity Nsight Compute reports and the paper
+predicts — is lower than theoretical whenever the grid cannot keep every SM
+saturated for the whole kernel (the "tail effect") or the launch is too
+small to fill even one wave.  :func:`achieved_occupancy` models both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .device import WARP_SIZE, DeviceSpec
+
+__all__ = ["OccupancyResult", "theoretical_occupancy", "achieved_occupancy"]
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy computation for one kernel launch."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    #: which hardware resource bounds residency: "warps", "blocks",
+    #: "registers", or "shared_mem"
+    limiter: str
+
+    @property
+    def occupancy(self) -> float:
+        """Theoretical occupancy in [0, 1]."""
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+def theoretical_occupancy(device: DeviceSpec, threads_per_block: int,
+                          regs_per_thread: int,
+                          smem_per_block: int) -> OccupancyResult:
+    """Resource-limited blocks/warps resident per SM for a launch config.
+
+    Raises ``ValueError`` if a single block cannot fit on the SM at all
+    (more than 1024 threads, register file exceeded, or shared memory
+    exceeded) — the same condition under which a real launch fails.
+    """
+    if threads_per_block <= 0 or threads_per_block > 1024:
+        raise ValueError(f"invalid threads_per_block={threads_per_block}")
+    warps_per_block = ceil(threads_per_block / WARP_SIZE)
+
+    # Limit 1: warp slots.
+    limit_warps = device.max_warps_per_sm // warps_per_block
+
+    # Limit 2: block slots.
+    limit_blocks = device.max_blocks_per_sm
+
+    # Limit 3: register file.  Registers are allocated per warp with the
+    # device's granularity.
+    if regs_per_thread > 0:
+        regs_per_warp = _round_up(regs_per_thread * WARP_SIZE,
+                                  device.register_alloc_unit)
+        regs_per_block = regs_per_warp * warps_per_block
+        if regs_per_block > device.registers_per_sm:
+            raise ValueError(
+                f"kernel needs {regs_per_block} registers/block; SM has "
+                f"{device.registers_per_sm}")
+        limit_regs = device.registers_per_sm // regs_per_block
+    else:
+        limit_regs = limit_blocks
+
+    # Limit 4: shared memory.
+    if smem_per_block > 0:
+        smem = _round_up(smem_per_block, device.shared_mem_alloc_unit)
+        if smem > device.shared_mem_per_sm:
+            raise ValueError(
+                f"kernel needs {smem} B shared memory; SM has "
+                f"{device.shared_mem_per_sm}")
+        limit_smem = device.shared_mem_per_sm // smem
+    else:
+        limit_smem = limit_blocks
+
+    candidates = {
+        "warps": limit_warps,
+        "blocks": limit_blocks,
+        "registers": limit_regs,
+        "shared_mem": limit_smem,
+    }
+    limiter = min(candidates, key=lambda k: candidates[k])
+    blocks = max(0, candidates[limiter])
+    if blocks == 0:
+        raise ValueError("block too large for any residency")
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        active_blocks_per_sm=blocks,
+        active_warps_per_sm=warps,
+        max_warps_per_sm=device.max_warps_per_sm,
+        limiter=limiter,
+    )
+
+
+def achieved_occupancy(device: DeviceSpec, grid_blocks: int,
+                       threads_per_block: int, regs_per_thread: int,
+                       smem_per_block: int,
+                       imbalance: float = 0.92) -> tuple[float, OccupancyResult]:
+    """Achieved (time-averaged) occupancy for a full grid launch.
+
+    The grid executes in *waves* of ``active_blocks_per_sm * sm_count``
+    blocks.  Full waves run at theoretical occupancy; the final partial wave
+    runs at a proportionally lower average, which drags the time-average
+    down — the dominant reason real kernels miss their theoretical
+    occupancy.  ``imbalance`` multiplies in residual scheduling losses
+    (uneven block runtimes, launch ramp-up) that Nsight attributes to
+    "achieved vs theoretical" gaps even for huge grids.
+
+    Returns ``(achieved, theoretical_result)``.
+    """
+    theo = theoretical_occupancy(device, threads_per_block, regs_per_thread,
+                                 smem_per_block)
+    if grid_blocks <= 0:
+        raise ValueError("grid must contain at least one block")
+
+    wave_capacity = theo.active_blocks_per_sm * device.sm_count
+    full_waves, rem = divmod(grid_blocks, wave_capacity)
+
+    if full_waves == 0:
+        # Launch smaller than one wave: average warps per SM across the
+        # whole device during the single (partial) wave.
+        warps_per_block = ceil(threads_per_block / WARP_SIZE)
+        total_warps = rem * warps_per_block
+        avg = total_warps / (device.sm_count * device.max_warps_per_sm)
+        achieved = min(theo.occupancy, avg)
+    else:
+        # Time-weighted mean over full waves + one partial wave (waves are
+        # modelled as equal-duration).
+        total_waves = full_waves + (1 if rem else 0)
+        partial = (rem / wave_capacity) * theo.occupancy if rem else 0.0
+        achieved = (full_waves * theo.occupancy + partial) / total_waves
+
+    return achieved * imbalance, theo

@@ -1,0 +1,89 @@
+"""Profiler tooling: kernel timelines and ncu-style reports.
+
+:func:`to_chrome_trace` serializes a :class:`ProfileResult` into the
+Chrome ``chrome://tracing`` / Perfetto JSON event format, with one lane
+for GPU kernels and one for the CPU dispatch gaps — the view a real
+profiler release ships for "where did the iteration time go".
+
+:func:`occupancy_report` renders a per-kernel table in the spirit of
+``ncu --print-summary``: duration, achieved vs theoretical occupancy, and
+the residency limiter.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .profiler import ProfileResult
+
+__all__ = ["to_chrome_trace", "occupancy_report"]
+
+
+def to_chrome_trace(result: ProfileResult) -> str:
+    """Chrome-trace JSON for one profiled iteration.
+
+    Kernels are laid out back-to-back on the GPU lane with their dispatch
+    gap on the CPU lane (an approximation: the simulator does not track
+    per-kernel gap placement, so the total gap is spread evenly).
+    """
+    events = []
+    n = max(1, sum(r.count for r in result.records))
+    gap_per_launch = max(0.0, (result.wall_time_s - result.busy_time_s)) / n
+
+    t = 0.0
+    for rec in result.records:
+        per_launch = rec.duration_s / rec.count
+        for _ in range(rec.count):
+            events.append({
+                "name": "dispatch", "ph": "X", "pid": 0, "tid": 0,
+                "ts": t * 1e6, "dur": gap_per_launch * 1e6,
+                "args": {"node_id": rec.node_id},
+            })
+            t += gap_per_launch
+            events.append({
+                "name": rec.name, "ph": "X", "pid": 0, "tid": 1,
+                "ts": t * 1e6, "dur": per_launch * 1e6,
+                "args": {
+                    "node_id": rec.node_id,
+                    "occupancy": round(rec.occupancy, 4),
+                    "theoretical_occupancy":
+                        round(rec.theoretical_occupancy, 4),
+                    "limiter": rec.limiter,
+                },
+            })
+            t += per_launch
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "model": result.model_name,
+            "device": result.device_name,
+            "occupancy": result.occupancy,
+            "nvml_utilization": result.nvml_utilization,
+        },
+    }
+    return json.dumps(trace)
+
+
+def occupancy_report(result: ProfileResult, top: int | None = None) -> str:
+    """ncu-style per-kernel summary, longest kernels first."""
+    records = sorted(result.records, key=lambda r: r.duration_s,
+                     reverse=True)
+    if top is not None:
+        records = records[:top]
+    lines = [
+        f"model {result.model_name} on {result.device_name}: "
+        f"{result.num_kernels} kernels, "
+        f"busy {result.busy_time_s * 1e3:.3f} ms, "
+        f"wall {result.wall_time_s * 1e3:.3f} ms",
+        f"duration-weighted achieved occupancy: {result.occupancy:.2%}   "
+        f"NVML utilization: {result.nvml_utilization:.2%}",
+        f"{'kernel':<36s} {'count':>5s} {'total us':>10s} "
+        f"{'achieved':>9s} {'theoretical':>12s} {'limiter':>11s}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec.name:<36.36s} {rec.count:5d} "
+            f"{rec.duration_s * 1e6:10.1f} {rec.occupancy:9.2%} "
+            f"{rec.theoretical_occupancy:12.2%} {rec.limiter:>11s}")
+    return "\n".join(lines)

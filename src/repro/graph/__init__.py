@@ -1,0 +1,16 @@
+"""Computation-graph IR: nodes, edges, builder, FLOPs formulas."""
+
+from .node import DataEdge, OpNode, tensor_bytes, tensor_numel, DTYPE_BYTES
+from .graph import ComputationGraph, GraphValidationError
+from .builder import GraphBuilder, TensorRef
+from .flops import OP_TYPES, op_flops, op_temp_bytes, op_type_index
+from .transforms import add_backward_edges
+from .visualize import to_dot
+
+__all__ = [
+    "OpNode", "DataEdge", "tensor_numel", "tensor_bytes", "DTYPE_BYTES",
+    "ComputationGraph", "GraphValidationError",
+    "GraphBuilder", "TensorRef",
+    "OP_TYPES", "op_flops", "op_temp_bytes", "op_type_index",
+    "add_backward_edges", "to_dot",
+]

@@ -1,0 +1,271 @@
+"""Fluent builder for computation graphs with automatic shape inference.
+
+The model zoo (:mod:`repro.models`) constructs every Table II architecture
+through this builder.  Each method creates an operator node, infers its
+output shape, computes its FLOPs and workspace via :mod:`repro.graph.flops`,
+and wires data-flow edges from its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .flops import op_flops, op_temp_bytes
+from .graph import ComputationGraph
+from .node import DataEdge, OpNode
+
+__all__ = ["GraphBuilder", "TensorRef"]
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """Handle to a node's output tensor while building a graph."""
+
+    node_id: int
+    shape: tuple[int, ...]
+
+    @property
+    def numel(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+
+def _pair(v) -> tuple[int, int]:
+    return tuple(v) if isinstance(v, (tuple, list)) else (int(v), int(v))
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive spatial size "
+            f"(in={size}, k={kernel}, s={stride}, p={padding})")
+    return out
+
+
+class GraphBuilder:
+    """Accumulates nodes/edges and returns :class:`TensorRef` handles."""
+
+    def __init__(self, name: str = ""):
+        self.graph = ComputationGraph(name)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Core node machinery
+    # ------------------------------------------------------------------ #
+    def _emit(self, op_type: str, inputs: Sequence[TensorRef],
+              output_shape: tuple[int, ...], attrs: dict | None = None,
+              name: str = "") -> TensorRef:
+        attrs = dict(attrs or {})
+        input_shapes = [tuple(r.shape) for r in inputs]
+        flops = op_flops(op_type, attrs, input_shapes, output_shape)
+        temp = op_temp_bytes(op_type, attrs, input_shapes, output_shape)
+        node = OpNode(
+            node_id=self._next_id,
+            op_type=op_type,
+            attrs=attrs,
+            input_shapes=input_shapes,
+            output_shape=tuple(output_shape),
+            flops=flops,
+            temp_bytes=temp,
+            name=name or f"{op_type.lower()}_{self._next_id}",
+        )
+        self.graph.add_node(node)
+        self._next_id += 1
+        for ref in inputs:
+            self.graph.add_edge(DataEdge(
+                src=ref.node_id, dst=node.node_id,
+                tensor_shape=tuple(ref.shape), edge_type="forward"))
+        return TensorRef(node.node_id, tuple(output_shape))
+
+    def finish(self) -> ComputationGraph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # Sources
+    # ------------------------------------------------------------------ #
+    def input(self, shape: Sequence[int], name: str = "input") -> TensorRef:
+        return self._emit("Input", [], tuple(shape), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Convolutions & pooling (NCHW)
+    # ------------------------------------------------------------------ #
+    def conv2d(self, x: TensorRef, out_channels: int, kernel_size,
+               stride=1, padding=0, groups: int = 1,
+               name: str = "") -> TensorRef:
+        n, c, h, w = x.shape
+        r, s = _pair(kernel_size)
+        sh, sw = _pair(stride)
+        ph, pw = _pair(padding)
+        if c % groups != 0 or out_channels % groups != 0:
+            raise ValueError("channels must be divisible by groups")
+        p = _conv_out(h, r, sh, ph)
+        q = _conv_out(w, s, sw, pw)
+        op = "DepthwiseConv2d" if groups == c and groups > 1 else "Conv2d"
+        attrs = {"in_channels": c, "out_channels": out_channels,
+                 "kernel_size": (r, s), "stride": (sh, sw),
+                 "padding": (ph, pw), "groups": groups}
+        return self._emit(op, [x], (n, out_channels, p, q), attrs, name)
+
+    def maxpool2d(self, x: TensorRef, kernel_size, stride=None,
+                  padding=0) -> TensorRef:
+        return self._pool("MaxPool2d", x, kernel_size, stride, padding)
+
+    def avgpool2d(self, x: TensorRef, kernel_size, stride=None,
+                  padding=0) -> TensorRef:
+        return self._pool("AvgPool2d", x, kernel_size, stride, padding)
+
+    def _pool(self, op: str, x: TensorRef, kernel_size, stride,
+              padding) -> TensorRef:
+        n, c, h, w = x.shape
+        r, s = _pair(kernel_size)
+        sh, sw = _pair(stride if stride is not None else kernel_size)
+        ph, pw = _pair(padding)
+        p = _conv_out(h, r, sh, ph)
+        q = _conv_out(w, s, sw, pw)
+        attrs = {"kernel_size": (r, s), "stride": (sh, sw),
+                 "padding": (ph, pw)}
+        return self._emit(op, [x], (n, c, p, q), attrs)
+
+    def global_avgpool(self, x: TensorRef) -> TensorRef:
+        n, c = x.shape[0], x.shape[1]
+        return self._emit("GlobalAvgPool", [x], (n, c, 1, 1))
+
+    def adaptive_avgpool(self, x: TensorRef, out_hw) -> TensorRef:
+        n, c = x.shape[0], x.shape[1]
+        oh, ow = _pair(out_hw)
+        return self._emit("AdaptiveAvgPool2d", [x], (n, c, oh, ow),
+                          {"output_size": (oh, ow)})
+
+    # ------------------------------------------------------------------ #
+    # Normalization & activations
+    # ------------------------------------------------------------------ #
+    def batchnorm2d(self, x: TensorRef) -> TensorRef:
+        return self._emit("BatchNorm2d", [x], x.shape,
+                          {"num_features": x.shape[1]})
+
+    def layernorm(self, x: TensorRef) -> TensorRef:
+        return self._emit("LayerNorm", [x], x.shape,
+                          {"normalized_shape": x.shape[-1]})
+
+    def groupnorm(self, x: TensorRef, groups: int) -> TensorRef:
+        return self._emit("GroupNorm", [x], x.shape, {"groups": groups})
+
+    def relu(self, x: TensorRef) -> TensorRef:
+        return self._emit("ReLU", [x], x.shape)
+
+    def gelu(self, x: TensorRef) -> TensorRef:
+        return self._emit("GELU", [x], x.shape)
+
+    def silu(self, x: TensorRef) -> TensorRef:
+        return self._emit("SiLU", [x], x.shape)
+
+    def sigmoid(self, x: TensorRef) -> TensorRef:
+        return self._emit("Sigmoid", [x], x.shape)
+
+    def tanh(self, x: TensorRef) -> TensorRef:
+        return self._emit("Tanh", [x], x.shape)
+
+    def softmax(self, x: TensorRef, axis: int = -1) -> TensorRef:
+        return self._emit("Softmax", [x], x.shape, {"axis": axis})
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def linear(self, x: TensorRef, out_features: int,
+               name: str = "") -> TensorRef:
+        in_features = x.shape[-1]
+        out_shape = x.shape[:-1] + (out_features,)
+        attrs = {"in_features": in_features, "out_features": out_features}
+        return self._emit("Gemm", [x], out_shape, attrs, name)
+
+    def matmul(self, a: TensorRef, b: TensorRef) -> TensorRef:
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"matmul shape mismatch {a.shape} @ {b.shape}")
+        batch = a.shape[:-2]
+        out_shape = batch + (a.shape[-2], b.shape[-1])
+        return self._emit("MatMul", [a, b], out_shape,
+                          {"reduce_dim": a.shape[-1]})
+
+    # ------------------------------------------------------------------ #
+    # Elementwise combiners & shape ops
+    # ------------------------------------------------------------------ #
+    def add(self, a: TensorRef, b: TensorRef) -> TensorRef:
+        if a.shape != b.shape:
+            raise ValueError(f"add shape mismatch {a.shape} vs {b.shape}")
+        return self._emit("Add", [a, b], a.shape)
+
+    def mul(self, a: TensorRef, b: TensorRef) -> TensorRef:
+        if a.shape != b.shape:
+            raise ValueError(f"mul shape mismatch {a.shape} vs {b.shape}")
+        return self._emit("Mul", [a, b], a.shape)
+
+    def scale(self, x: TensorRef) -> TensorRef:
+        return self._emit("Scale", [x], x.shape)
+
+    def concat(self, xs: Sequence[TensorRef], axis: int) -> TensorRef:
+        base = list(xs[0].shape)
+        for x in xs[1:]:
+            for i, (a, b) in enumerate(zip(base, x.shape)):
+                if i != axis % len(base) and a != b:
+                    raise ValueError("concat shapes disagree off-axis")
+            base[axis] += x.shape[axis]
+        return self._emit("Concat", list(xs), tuple(base), {"axis": axis})
+
+    def flatten(self, x: TensorRef, start_dim: int = 1) -> TensorRef:
+        keep = x.shape[:start_dim]
+        rest = 1
+        for s in x.shape[start_dim:]:
+            rest *= s
+        return self._emit("Flatten", [x], keep + (rest,),
+                          {"start_dim": start_dim})
+
+    def reshape(self, x: TensorRef, shape: Sequence[int]) -> TensorRef:
+        shape = tuple(int(s) for s in shape)
+        if x.numel != TensorRef(-1, shape).numel:
+            raise ValueError(f"reshape {x.shape} -> {shape} changes numel")
+        return self._emit("Reshape", [x], shape)
+
+    def transpose(self, x: TensorRef, axes: Sequence[int]) -> TensorRef:
+        out = tuple(x.shape[a] for a in axes)
+        return self._emit("Transpose", [x], out, {"axes": tuple(axes)})
+
+    def slice(self, x: TensorRef, out_shape: Sequence[int]) -> TensorRef:
+        return self._emit("Slice", [x], tuple(out_shape))
+
+    def reduce_mean(self, x: TensorRef, axis: int) -> TensorRef:
+        shape = list(x.shape)
+        del shape[axis % len(shape)]
+        return self._emit("ReduceMean", [x], tuple(shape), {"axis": axis})
+
+    def shift_window(self, x: TensorRef) -> TensorRef:
+        """Swin-style cyclic shift (data movement only)."""
+        return self._emit("Shift", [x], x.shape)
+
+    # ------------------------------------------------------------------ #
+    # Sequence operators
+    # ------------------------------------------------------------------ #
+    def embedding(self, x: TensorRef, vocab_size: int,
+                  embed_dim: int) -> TensorRef:
+        out_shape = x.shape + (embed_dim,)
+        return self._emit("Embedding", [x], out_shape,
+                          {"vocab_size": vocab_size, "embed_dim": embed_dim})
+
+    def lstm(self, x: TensorRef, hidden_size: int,
+             num_layers: int = 1) -> TensorRef:
+        batch, seq, inp = x.shape
+        attrs = {"batch": batch, "seq_len": seq, "input_size": inp,
+                 "hidden_size": hidden_size, "num_layers": num_layers}
+        return self._emit("LSTM", [x], (batch, seq, hidden_size), attrs)
+
+    def rnn(self, x: TensorRef, hidden_size: int,
+            num_layers: int = 1) -> TensorRef:
+        batch, seq, inp = x.shape
+        attrs = {"batch": batch, "seq_len": seq, "input_size": inp,
+                 "hidden_size": hidden_size, "num_layers": num_layers}
+        return self._emit("RNN", [x], (batch, seq, hidden_size), attrs)

@@ -1,0 +1,144 @@
+"""Graph elements: operator nodes and data-flow edges.
+
+A DL model is represented exactly as in the paper (Section II-A): a directed
+acyclic *computation graph* whose nodes are tensor operators (``Conv2d``,
+``MatMul``, ...) and whose edges carry tensors between operators.  This IR
+plays the role ONNX plays in the original system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["OpNode", "DataEdge", "tensor_numel", "tensor_bytes", "DTYPE_BYTES"]
+
+#: bytes per element for the simulated FP32 inference path
+DTYPE_BYTES = 4
+
+
+def tensor_numel(shape: tuple[int, ...]) -> int:
+    """Number of elements of a tensor shape (1 for scalars)."""
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def tensor_bytes(shape: tuple[int, ...]) -> int:
+    """FP32 byte size of a tensor shape."""
+    return tensor_numel(shape) * DTYPE_BYTES
+
+
+@dataclass
+class OpNode:
+    """A tensor-computation operator (one graph node).
+
+    Attributes mirror Table I's node features:
+
+    * ``op_type`` — operator type (one-hot encoded downstream);
+    * ``attrs`` — operator hyperparameters (kernel size, channels, ...);
+    * ``input_shapes`` / ``output_shape`` — I/O tensor shapes;
+    * ``flops`` — floating-point operations of the operator;
+    * ``temp_bytes`` — workspace (temporary variable) bytes.
+
+    Device-level features (GPU FLOPS, memory capacity, SM count) are appended
+    at featurization time, since the same graph is profiled on many devices.
+    """
+
+    node_id: int
+    op_type: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    input_shapes: list[tuple[int, ...]] = field(default_factory=list)
+    output_shape: tuple[int, ...] = ()
+    flops: int = 0
+    temp_bytes: int = 0
+    name: str = ""
+
+    @property
+    def input_numel(self) -> int:
+        return sum(tensor_numel(s) for s in self.input_shapes)
+
+    @property
+    def output_numel(self) -> int:
+        return tensor_numel(self.output_shape)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.input_numel * DTYPE_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_numel * DTYPE_BYTES
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "op_type": self.op_type,
+            "attrs": dict(self.attrs),
+            "input_shapes": [list(s) for s in self.input_shapes],
+            "output_shape": list(self.output_shape),
+            "flops": int(self.flops),
+            "temp_bytes": int(self.temp_bytes),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "OpNode":
+        # JSON round trips turn tuple attrs (kernel_size, stride, ...) into
+        # lists; normalize back so attr comparisons stay exact.
+        attrs = {k: tuple(v) if isinstance(v, list) else v
+                 for k, v in d.get("attrs", {}).items()}
+        return cls(
+            node_id=int(d["node_id"]),
+            op_type=str(d["op_type"]),
+            attrs=attrs,
+            input_shapes=[tuple(s) for s in d.get("input_shapes", [])],
+            output_shape=tuple(d.get("output_shape", ())),
+            flops=int(d.get("flops", 0)),
+            temp_bytes=int(d.get("temp_bytes", 0)),
+            name=str(d.get("name", "")),
+        )
+
+
+@dataclass
+class DataEdge:
+    """A data-flow edge (Table I edge features).
+
+    ``edge_type`` is "forward" for inference data flow (the only kind the
+    paper's inference-time graphs contain; "backward" is reserved for
+    training graphs).  ``tensor_shape`` is the shape of the tensor the edge
+    delivers; bandwidth is a device property added at featurization.
+    """
+
+    src: int
+    dst: int
+    tensor_shape: tuple[int, ...] = ()
+    edge_type: str = "forward"
+
+    @property
+    def tensor_numel(self) -> int:
+        return tensor_numel(self.tensor_shape)
+
+    @property
+    def tensor_bytes(self) -> int:
+        return tensor_bytes(self.tensor_shape)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "tensor_shape": list(self.tensor_shape),
+            "edge_type": self.edge_type,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DataEdge":
+        return cls(
+            src=int(d["src"]),
+            dst=int(d["dst"]),
+            tensor_shape=tuple(d.get("tensor_shape", ())),
+            edge_type=str(d.get("edge_type", "forward")),
+        )

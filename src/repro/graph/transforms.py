@@ -1,0 +1,39 @@
+"""Graph transforms: training-graph augmentation.
+
+The Table I edge-type feature distinguishes *Forward* and *Backward* data
+flow.  Inference graphs (the paper's prediction target) contain only
+forward edges; :func:`add_backward_edges` derives the training-iteration
+graph by mirroring every forward edge with a backward (gradient) edge —
+useful for extending the predictor to training workloads.
+"""
+
+from __future__ import annotations
+
+from .graph import ComputationGraph
+from .node import DataEdge, OpNode
+
+__all__ = ["add_backward_edges"]
+
+
+def add_backward_edges(graph: ComputationGraph,
+                       name: str = "") -> ComputationGraph:
+    """Return a copy of ``graph`` with a backward edge mirroring each
+    forward edge.
+
+    The backward edge carries the gradient tensor, which has the shape of
+    the forward activation it differentiates.  Note the result is not a
+    DAG extension of the forward graph (gradients flow dst -> src), so the
+    copy keeps backward edges as *annotations*: they connect src -> dst in
+    the same direction (preserving acyclicity, as ONNX training exports
+    do) but are typed ``"backward"`` for feature purposes.
+    """
+    out = ComputationGraph(name or f"{graph.name}_train")
+    for node in graph.nodes.values():
+        out.add_node(OpNode.from_dict(node.to_dict()))
+    for edge in graph.edges:
+        out.add_edge(DataEdge.from_dict(edge.to_dict()))
+    for edge in graph.edges:
+        out.add_edge(DataEdge(src=edge.src, dst=edge.dst,
+                              tensor_shape=edge.tensor_shape,
+                              edge_type="backward"))
+    return out

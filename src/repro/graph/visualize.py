@@ -1,0 +1,37 @@
+"""Graph visualization: Graphviz DOT export for computation graphs."""
+
+from __future__ import annotations
+
+from .graph import ComputationGraph
+
+__all__ = ["to_dot"]
+
+_FAMILY_COLORS = {
+    "Conv2d": "lightblue", "DepthwiseConv2d": "lightblue",
+    "Gemm": "lightsalmon", "MatMul": "lightsalmon",
+    "LSTM": "palegreen", "RNN": "palegreen",
+    "Softmax": "khaki", "LayerNorm": "khaki", "BatchNorm2d": "khaki",
+    "Input": "white",
+}
+
+
+def to_dot(graph: ComputationGraph, max_label_len: int = 24) -> str:
+    """Render ``graph`` as Graphviz DOT.
+
+    Node labels show the operator type and output shape; heavy operator
+    families are color-coded.  Paste the output into any DOT renderer.
+    """
+    lines = [f'digraph "{graph.name or "graph"}" {{',
+             "  rankdir=TB;",
+             '  node [shape=box, style=filled, fontsize=10];']
+    for nid in sorted(graph.nodes):
+        node = graph.nodes[nid]
+        shape = "x".join(str(s) for s in node.output_shape)
+        label = f"{node.op_type}\\n{shape}"[:max_label_len * 2]
+        color = _FAMILY_COLORS.get(node.op_type, "gainsboro")
+        lines.append(f'  n{nid} [label="{label}", fillcolor="{color}"];')
+    for edge in graph.edges:
+        style = ' [style=dashed]' if edge.edge_type == "backward" else ""
+        lines.append(f"  n{edge.src} -> n{edge.dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Prediction metrics (MRE, MSE) and bucketing helpers."""
+
+from .metrics import bucketize, evaluate_predictions, mre, mse
+from .analysis import correlations, format_table, per_group_errors
+
+__all__ = ["mre", "mse", "evaluate_predictions", "bucketize",
+           "per_group_errors", "correlations", "format_table"]

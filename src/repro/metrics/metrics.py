@@ -1,0 +1,51 @@
+"""Evaluation metrics (Section IV-C): MRE and MSE, plus bucketing helpers
+for the robustness analysis (Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mre", "mse", "evaluate_predictions", "bucketize"]
+
+
+def mre(pred, true) -> float:
+    """Mean Relative Error: mean(|ŷ - y| / |y|).
+
+    Matches the paper's definition; reported as a percentage elsewhere
+    (multiply by 100).
+    """
+    pred = np.asarray(pred, dtype=float)
+    true = np.asarray(true, dtype=float)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {true.shape}")
+    if np.any(true == 0):
+        raise ValueError("MRE undefined for zero ground-truth values")
+    return float(np.mean(np.abs((pred - true) / true)))
+
+
+def mse(pred, true) -> float:
+    """Mean Squared Error."""
+    pred = np.asarray(pred, dtype=float)
+    true = np.asarray(true, dtype=float)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {true.shape}")
+    return float(np.mean((pred - true) ** 2))
+
+
+def evaluate_predictions(pred, true) -> dict[str, float]:
+    """Both paper metrics at once; MRE in percent."""
+    return {"mre_percent": 100.0 * mre(pred, true), "mse": mse(pred, true)}
+
+
+def bucketize(values, edges) -> list[np.ndarray]:
+    """Index masks splitting ``values`` by half-open ``edges`` intervals.
+
+    ``edges = [a, b, c]`` produces buckets [a, b), [b, c), [c, inf) — the
+    node/edge-count ranges of Fig. 5.
+    """
+    values = np.asarray(values)
+    masks = []
+    for i, lo in enumerate(edges):
+        hi = edges[i + 1] if i + 1 < len(edges) else np.inf
+        masks.append(np.flatnonzero((values >= lo) & (values < hi)))
+    return masks

@@ -1,0 +1,19 @@
+"""Model zoo: computation-graph builders for every Table II architecture."""
+
+from .common import ModelConfig
+from .registry import MODEL_FAMILY, MODEL_REGISTRY, build_model, list_models
+from .cnn import (build_alexnet, build_convnext, build_lenet, build_resnet,
+                  build_vgg)
+from .rnn import build_lstm, build_rnn
+from .transformer import (build_bert, build_gpt2, build_maxvit, build_swin,
+                          build_vit)
+from .clip import build_clip
+
+__all__ = [
+    "ModelConfig", "MODEL_REGISTRY", "MODEL_FAMILY", "build_model",
+    "list_models",
+    "build_lenet", "build_alexnet", "build_vgg", "build_resnet",
+    "build_convnext", "build_rnn", "build_lstm",
+    "build_vit", "build_swin", "build_maxvit", "build_bert", "build_gpt2",
+    "build_clip",
+]

@@ -1,0 +1,131 @@
+"""CLIP multimodal models (Table IV): RN50, ViT-B/32, ViT-B/16.
+
+Both encoders run "simultaneously" (Section V-A2): the graph contains the
+image tower, the text tower, and the joint similarity operators, so the
+profiler sees the full multimodal kernel stream and DNN-occu learns the
+fused-graph representation.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationGraph, GraphBuilder, TensorRef
+from .common import ModelConfig, conv_bn_act, transformer_encoder_block
+from .cnn import _bottleneck_block
+
+__all__ = ["build_clip", "build_clip_towers"]
+
+_TEXT_WIDTH = 512
+_TEXT_LAYERS = 12
+_TEXT_HEADS = 8
+_TEXT_SEQ = 77
+_TEXT_VOCAB = 49408
+_EMBED_DIM = 512
+
+
+def _clip_image_resnet(b: GraphBuilder, cfg: ModelConfig) -> TensorRef:
+    """CLIP's ModifiedResNet-50 image tower (3-conv stem, attention pool)."""
+    n = cfg.batch_size
+    x = b.input((n, cfg.in_channels, cfg.image_size, cfg.image_size),
+                name="image")
+    y = conv_bn_act(b, x, 32, 3, stride=2, padding=1)
+    y = conv_bn_act(b, y, 32, 3, padding=1)
+    y = conv_bn_act(b, y, 64, 3, padding=1)
+    y = b.avgpool2d(y, 2, 2)
+    for stage, (planes, count) in enumerate(
+            zip((64, 128, 256, 512), (3, 4, 6, 3))):
+        for i in range(count):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            y = _bottleneck_block(b, y, planes, stride)
+    # Attention pooling approximated as global pool + projection GEMMs.
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.linear(y, 1024, name="attnpool_qkv")
+    y = b.linear(y, _EMBED_DIM, name="image_proj")
+    return y
+
+
+def _clip_image_vit(b: GraphBuilder, cfg: ModelConfig,
+                    patch: int) -> TensorRef:
+    """CLIP's ViT-B image tower with the given patch size (32 or 16)."""
+    dim, depth, heads = 768, 12, 12
+    n = cfg.batch_size
+    x = b.input((n, cfg.in_channels, cfg.image_size, cfg.image_size),
+                name="image")
+    y = b.conv2d(x, dim, patch, stride=patch, name="patch_embed")
+    tokens = (cfg.image_size // patch) ** 2
+    y = b.reshape(y, (n, dim, tokens))
+    y = b.transpose(y, (0, 2, 1))
+    cls = b.input((n, 1, dim), name="cls_token")
+    y = b.concat([cls, y], axis=1)
+    pos = b.input((n, tokens + 1, dim), name="pos_embed")
+    y = b.add(y, pos)
+    y = b.layernorm(y)
+    for _ in range(depth):
+        y = transformer_encoder_block(b, y, heads)
+    y = b.layernorm(y)
+    y = b.slice(y, (n, dim))
+    return b.linear(y, _EMBED_DIM, name="image_proj")
+
+
+def _clip_text_tower(b: GraphBuilder, cfg: ModelConfig) -> TensorRef:
+    n = cfg.batch_size
+    tokens = b.input((n, _TEXT_SEQ), name="text_ids")
+    y = b.embedding(tokens, _TEXT_VOCAB, _TEXT_WIDTH)
+    pos = b.input((n, _TEXT_SEQ, _TEXT_WIDTH), name="text_pos")
+    y = b.add(y, pos)
+    for _ in range(_TEXT_LAYERS):
+        y = transformer_encoder_block(b, y, _TEXT_HEADS, causal=True)
+    y = b.layernorm(y)
+    y = b.slice(y, (n, _TEXT_WIDTH))  # EOT token
+    return b.linear(y, _EMBED_DIM, name="text_proj")
+
+
+def build_clip(cfg: ModelConfig, image_encoder: str = "rn50") -> ComputationGraph:
+    """CLIP with both towers and the joint logits computation.
+
+    ``image_encoder`` is one of ``"rn50"``, ``"vit-b/32"``, ``"vit-b/16"``.
+    """
+    enc = image_encoder.lower()
+    b = GraphBuilder(f"clip_{enc.replace('/', '_')}_b{cfg.batch_size}")
+    if enc == "rn50":
+        img = _clip_image_resnet(b, cfg)
+    elif enc == "vit-b/32":
+        img = _clip_image_vit(b, cfg, patch=32)
+    elif enc == "vit-b/16":
+        img = _clip_image_vit(b, cfg, patch=16)
+    else:
+        raise ValueError(f"unsupported CLIP image encoder {image_encoder!r}")
+
+    txt = _clip_text_tower(b, cfg)
+
+    # Joint similarity: normalize both embeddings, logits = img @ txt^T.
+    img = b.scale(img)
+    txt = b.scale(txt)
+    txt_t = b.transpose(txt, (1, 0))
+    b.matmul(img, txt_t)  # (B, B) logits
+    return b.finish()
+
+
+def build_clip_towers(cfg: ModelConfig, image_encoder: str = "rn50"
+                      ) -> tuple[ComputationGraph, ComputationGraph]:
+    """The two CLIP towers as *independent* graphs.
+
+    Section V-A2's alternative multimodal treatment: each modality is its
+    own graph; ``image.disjoint_union(text)`` produces the fused graph the
+    profiler and predictor consume (minus the joint similarity operators
+    that :func:`build_clip` adds).
+    """
+    enc = image_encoder.lower()
+    bi = GraphBuilder(f"clip_image_{enc.replace('/', '_')}")
+    if enc == "rn50":
+        _clip_image_resnet(bi, cfg)
+    elif enc == "vit-b/32":
+        _clip_image_vit(bi, cfg, patch=32)
+    elif enc == "vit-b/16":
+        _clip_image_vit(bi, cfg, patch=16)
+    else:
+        raise ValueError(f"unsupported CLIP image encoder {image_encoder!r}")
+
+    bt = GraphBuilder("clip_text")
+    _clip_text_tower(bt, cfg)
+    return bi.finish(), bt.finish()

@@ -1,0 +1,193 @@
+"""CNN-based models from Table II: LeNet, AlexNet, VGG, ResNet, ConvNeXt.
+
+Each builder takes a :class:`ModelConfig` and returns a validated
+:class:`ComputationGraph` at operator granularity.  Architectures follow
+the original papers / torchvision definitions; the input channel count is a
+free hyperparameter (1-10) per the paper's dataset-generation protocol.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationGraph, GraphBuilder, TensorRef
+from .common import ModelConfig, classifier_head, conv_bn_act
+
+__all__ = ["build_lenet", "build_alexnet", "build_vgg", "build_resnet",
+           "build_convnext"]
+
+
+def build_lenet(cfg: ModelConfig) -> ComputationGraph:
+    """LeNet-5 (adapted to the configured input size)."""
+    b = GraphBuilder(f"lenet_b{cfg.batch_size}_c{cfg.in_channels}")
+    x = b.input((cfg.batch_size, cfg.in_channels, cfg.image_size,
+                 cfg.image_size))
+    y = b.conv2d(x, 6, 5, padding=2)
+    y = b.tanh(y)
+    y = b.avgpool2d(y, 2, 2)
+    y = b.conv2d(y, 16, 5)
+    y = b.tanh(y)
+    y = b.avgpool2d(y, 2, 2)
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.linear(y, 120)
+    y = b.tanh(y)
+    y = b.linear(y, 84)
+    y = b.tanh(y)
+    y = b.linear(y, cfg.num_classes)
+    return b.finish()
+
+
+def build_alexnet(cfg: ModelConfig) -> ComputationGraph:
+    """AlexNet (torchvision single-tower variant)."""
+    b = GraphBuilder(f"alexnet_b{cfg.batch_size}_c{cfg.in_channels}")
+    x = b.input((cfg.batch_size, cfg.in_channels, cfg.image_size,
+                 cfg.image_size))
+    y = b.conv2d(x, 64, 11, stride=4, padding=2)
+    y = b.relu(y)
+    y = b.maxpool2d(y, 3, 2)
+    y = b.conv2d(y, 192, 5, padding=2)
+    y = b.relu(y)
+    y = b.maxpool2d(y, 3, 2)
+    y = b.conv2d(y, 384, 3, padding=1)
+    y = b.relu(y)
+    y = b.conv2d(y, 256, 3, padding=1)
+    y = b.relu(y)
+    y = b.conv2d(y, 256, 3, padding=1)
+    y = b.relu(y)
+    y = b.maxpool2d(y, 3, 2)
+    y = b.adaptive_avgpool(y, 6)
+    y = b.flatten(y)
+    y = b.linear(y, 4096)
+    y = b.relu(y)
+    y = b.linear(y, 4096)
+    y = b.relu(y)
+    y = b.linear(y, cfg.num_classes)
+    return b.finish()
+
+
+_VGG_PLANS = {
+    11: (1, 1, 2, 2, 2),
+    13: (2, 2, 2, 2, 2),
+    16: (2, 2, 3, 3, 3),
+}
+_VGG_WIDTHS = (64, 128, 256, 512, 512)
+
+
+def build_vgg(cfg: ModelConfig, depth: int = 16) -> ComputationGraph:
+    """VGG-11/13/16 with batch norm."""
+    if depth not in _VGG_PLANS:
+        raise ValueError(f"unsupported VGG depth {depth}")
+    b = GraphBuilder(f"vgg{depth}_b{cfg.batch_size}_c{cfg.in_channels}")
+    x = b.input((cfg.batch_size, cfg.in_channels, cfg.image_size,
+                 cfg.image_size))
+    y = x
+    for convs, width in zip(_VGG_PLANS[depth], _VGG_WIDTHS):
+        for _ in range(convs):
+            y = conv_bn_act(b, y, width, 3, padding=1)
+        y = b.maxpool2d(y, 2, 2)
+    y = b.adaptive_avgpool(y, 7)
+    y = b.flatten(y)
+    y = b.linear(y, 4096)
+    y = b.relu(y)
+    y = b.linear(y, 4096)
+    y = b.relu(y)
+    y = b.linear(y, cfg.num_classes)
+    return b.finish()
+
+
+_RESNET_PLANS = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+}
+
+
+def _basic_block(b: GraphBuilder, x: TensorRef, planes: int,
+                 stride: int) -> TensorRef:
+    identity = x
+    y = conv_bn_act(b, x, planes, 3, stride=stride, padding=1)
+    y = b.conv2d(y, planes, 3, padding=1)
+    y = b.batchnorm2d(y)
+    if stride != 1 or x.shape[1] != planes:
+        identity = b.conv2d(x, planes, 1, stride=stride)
+        identity = b.batchnorm2d(identity)
+    y = b.add(y, identity)
+    return b.relu(y)
+
+
+def _bottleneck_block(b: GraphBuilder, x: TensorRef, planes: int,
+                      stride: int) -> TensorRef:
+    out_planes = planes * 4
+    identity = x
+    y = conv_bn_act(b, x, planes, 1)
+    y = conv_bn_act(b, y, planes, 3, stride=stride, padding=1)
+    y = b.conv2d(y, out_planes, 1)
+    y = b.batchnorm2d(y)
+    if stride != 1 or x.shape[1] != out_planes:
+        identity = b.conv2d(x, out_planes, 1, stride=stride)
+        identity = b.batchnorm2d(identity)
+    y = b.add(y, identity)
+    return b.relu(y)
+
+
+def build_resnet(cfg: ModelConfig, depth: int = 50) -> ComputationGraph:
+    """ResNet-18/34/50 (He et al.)."""
+    if depth not in _RESNET_PLANS:
+        raise ValueError(f"unsupported ResNet depth {depth}")
+    kind, layers = _RESNET_PLANS[depth]
+    block = _basic_block if kind == "basic" else _bottleneck_block
+
+    b = GraphBuilder(f"resnet{depth}_b{cfg.batch_size}_c{cfg.in_channels}")
+    x = b.input((cfg.batch_size, cfg.in_channels, cfg.image_size,
+                 cfg.image_size))
+    y = conv_bn_act(b, x, 64, 7, stride=2, padding=3)
+    y = b.maxpool2d(y, 3, 2, 1)
+    for stage, (planes, count) in enumerate(zip((64, 128, 256, 512), layers)):
+        for i in range(count):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            y = block(b, y, planes, stride)
+    y = b.global_avgpool(y)
+    y = classifier_head(b, y, cfg.num_classes)
+    return b.finish()
+
+
+def _convnext_block(b: GraphBuilder, x: TensorRef) -> TensorRef:
+    dim = x.shape[1]
+    identity = x
+    y = b.conv2d(x, dim, 7, padding=3, groups=dim)  # depthwise 7x7
+    y = b.layernorm(y)
+    y = b.conv2d(y, 4 * dim, 1)                     # pointwise expand
+    y = b.gelu(y)
+    y = b.conv2d(y, dim, 1)                         # pointwise contract
+    y = b.scale(y)                                  # layer scale
+    return b.add(y, identity)
+
+
+def build_convnext(cfg: ModelConfig, variant: str = "base") -> ComputationGraph:
+    """ConvNeXt (Liu et al. 2022); 'base' = depths (3,3,27,3), dims 128..1024."""
+    plans = {
+        "tiny": ((3, 3, 9, 3), (96, 192, 384, 768)),
+        "small": ((3, 3, 27, 3), (96, 192, 384, 768)),
+        "base": ((3, 3, 27, 3), (128, 256, 512, 1024)),
+    }
+    if variant not in plans:
+        raise ValueError(f"unsupported ConvNeXt variant {variant!r}")
+    depths, dims = plans[variant]
+
+    b = GraphBuilder(
+        f"convnext_{variant}_b{cfg.batch_size}_c{cfg.in_channels}")
+    x = b.input((cfg.batch_size, cfg.in_channels, cfg.image_size,
+                 cfg.image_size))
+    # Patchify stem: 4x4 stride-4 conv + LN.
+    y = b.conv2d(x, dims[0], 4, stride=4)
+    y = b.layernorm(y)
+    for stage, (depth, dim) in enumerate(zip(depths, dims)):
+        if stage > 0:
+            y = b.layernorm(y)
+            y = b.conv2d(y, dim, 2, stride=2)  # downsample
+        for _ in range(depth):
+            y = _convnext_block(b, y)
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.layernorm(y)
+    y = b.linear(y, cfg.num_classes)
+    return b.finish()

@@ -1,0 +1,136 @@
+"""Shared building blocks for the model zoo.
+
+These composers emit *operator-level* subgraphs (the granularity ONNX export
+produces): attention is a chain of Gemm / Slice / Transpose / MatMul /
+Softmax nodes rather than a single fused "Attention" node, matching how the
+paper's feature extraction sees transformer models (Section III-C: attention
+modules are "essentially generalized matrix multiplication").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graph import GraphBuilder, TensorRef
+
+__all__ = ["ModelConfig", "conv_bn_act", "transformer_encoder_block",
+           "multi_head_attention", "mlp_block", "classifier_head"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameter bundle for one model configuration (Table II space).
+
+    Not every field is meaningful for every family: CNNs use
+    ``batch_size`` / ``in_channels`` / ``image_size``; RNNs use
+    ``batch_size`` / ``seq_len`` / ``input_size`` / ``hidden_size``;
+    transformers use ``batch_size`` / ``seq_len`` / ``in_channels``.
+    """
+
+    batch_size: int = 32
+    in_channels: int = 3
+    image_size: int = 224
+    seq_len: int = 128
+    input_size: int = 64
+    hidden_size: int = 256
+    num_classes: int = 1000
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def replace(self, **kw) -> "ModelConfig":
+        from dataclasses import replace
+        return replace(self, **kw)
+
+
+# --------------------------------------------------------------------------- #
+# CNN blocks
+# --------------------------------------------------------------------------- #
+def conv_bn_act(b: GraphBuilder, x: TensorRef, out_channels: int,
+                kernel_size, stride=1, padding=0, groups: int = 1,
+                act: str = "relu", norm: str = "bn") -> TensorRef:
+    """Conv → norm → activation, the standard CNN micro-block."""
+    y = b.conv2d(x, out_channels, kernel_size, stride, padding, groups)
+    if norm == "bn":
+        y = b.batchnorm2d(y)
+    elif norm == "ln":
+        y = b.layernorm(y)
+    if act == "relu":
+        y = b.relu(y)
+    elif act == "gelu":
+        y = b.gelu(y)
+    elif act == "silu":
+        y = b.silu(y)
+    return y
+
+
+# --------------------------------------------------------------------------- #
+# Transformer blocks (operator-level)
+# --------------------------------------------------------------------------- #
+def multi_head_attention(b: GraphBuilder, x: TensorRef, num_heads: int,
+                         causal: bool = False) -> TensorRef:
+    """Emit a multi-head self-attention subgraph for ``x`` of shape (B,T,D).
+
+    Node sequence: fused QKV Gemm → 3 slices → per-head reshapes →
+    Q@K^T → scale → softmax → @V → merge heads → output Gemm.
+    ``causal`` only changes the graph name semantics (masking is free at
+    the FLOPs level we model).
+    """
+    bs, t, d = x.shape
+    if d % num_heads:
+        raise ValueError(f"dim {d} not divisible by heads {num_heads}")
+    hd = d // num_heads
+
+    qkv = b.linear(x, 3 * d, name="attn_qkv")
+    q = b.slice(qkv, (bs, t, d))
+    k = b.slice(qkv, (bs, t, d))
+    v = b.slice(qkv, (bs, t, d))
+
+    # (B, T, D) -> (B*H, T, hd): reshape to (B, T, H, hd), transpose.
+    q = b.reshape(q, (bs, t, num_heads, hd))
+    q = b.transpose(q, (0, 2, 1, 3))
+    q = b.reshape(q, (bs * num_heads, t, hd))
+    k = b.reshape(k, (bs, t, num_heads, hd))
+    k = b.transpose(k, (0, 2, 3, 1))
+    k = b.reshape(k, (bs * num_heads, hd, t))
+    v = b.reshape(v, (bs, t, num_heads, hd))
+    v = b.transpose(v, (0, 2, 1, 3))
+    v = b.reshape(v, (bs * num_heads, t, hd))
+
+    scores = b.matmul(q, k)            # (B*H, T, T)
+    scores = b.scale(scores)           # 1/sqrt(hd)
+    probs = b.softmax(scores, axis=-1)
+    ctx = b.matmul(probs, v)           # (B*H, T, hd)
+
+    ctx = b.reshape(ctx, (bs, num_heads, t, hd))
+    ctx = b.transpose(ctx, (0, 2, 1, 3))
+    ctx = b.reshape(ctx, (bs, t, d))
+    return b.linear(ctx, d, name="attn_proj")
+
+
+def mlp_block(b: GraphBuilder, x: TensorRef, hidden_mult: int = 4,
+              act: str = "gelu") -> TensorRef:
+    """Transformer FFN: Gemm expand → activation → Gemm contract."""
+    d = x.shape[-1]
+    y = b.linear(x, hidden_mult * d, name="ffn_fc1")
+    y = b.gelu(y) if act == "gelu" else b.relu(y)
+    return b.linear(y, d, name="ffn_fc2")
+
+
+def transformer_encoder_block(b: GraphBuilder, x: TensorRef, num_heads: int,
+                              hidden_mult: int = 4,
+                              causal: bool = False) -> TensorRef:
+    """Pre-LN transformer encoder block (ViT / BERT / GPT-2 style)."""
+    h = b.layernorm(x)
+    h = multi_head_attention(b, h, num_heads, causal=causal)
+    x = b.add(x, h)
+    h = b.layernorm(x)
+    h = mlp_block(b, h, hidden_mult)
+    return b.add(x, h)
+
+
+def classifier_head(b: GraphBuilder, x: TensorRef,
+                    num_classes: int) -> TensorRef:
+    """Flatten (if needed) then final Gemm to logits."""
+    if len(x.shape) > 2:
+        x = b.flatten(x, 1)
+    return b.linear(x, num_classes, name="classifier")

@@ -1,0 +1,91 @@
+"""Model registry: every Table II variant by canonical name.
+
+``build_model(name, config)`` is the zoo's single entry point; names match
+the paper's Table II (case-insensitive, e.g. ``"ResNet-50"``,
+``"ViT-T"``, ``"CLIP-ViT-B/32"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph import ComputationGraph
+from .common import ModelConfig
+from .cnn import build_alexnet, build_convnext, build_lenet, build_resnet, \
+    build_vgg
+from .rnn import build_lstm, build_rnn
+from .transformer import build_bert, build_gpt2, build_maxvit, build_swin, \
+    build_vit
+from .clip import build_clip
+
+__all__ = ["MODEL_REGISTRY", "build_model", "list_models", "MODEL_FAMILY"]
+
+_BUILDERS: dict[str, Callable[[ModelConfig], ComputationGraph]] = {
+    # CNN-based
+    "lenet": build_lenet,
+    "alexnet": build_alexnet,
+    "vgg-11": lambda c: build_vgg(c, 11),
+    "vgg-13": lambda c: build_vgg(c, 13),
+    "vgg-16": lambda c: build_vgg(c, 16),
+    "resnet-18": lambda c: build_resnet(c, 18),
+    "resnet-34": lambda c: build_resnet(c, 34),
+    "resnet-50": lambda c: build_resnet(c, 50),
+    "convnext-t": lambda c: build_convnext(c, "tiny"),
+    "convnext-s": lambda c: build_convnext(c, "small"),
+    "convnext-b": lambda c: build_convnext(c, "base"),
+    # RNN-based
+    "rnn": build_rnn,
+    "lstm": build_lstm,
+    # Transformer-based
+    "vit-t": lambda c: build_vit(c, "tiny"),
+    "vit-s": lambda c: build_vit(c, "small"),
+    "vit-b": lambda c: build_vit(c, "base"),
+    "swin-t": lambda c: build_swin(c, "tiny"),
+    "swin-s": lambda c: build_swin(c, "small"),
+    "maxvit-t": lambda c: build_maxvit(c, "tiny"),
+    "bert": lambda c: build_bert(c, "distilbert"),
+    "bert-base": lambda c: build_bert(c, "base"),
+    "gpt-2": build_gpt2,
+    # Multimodal
+    "clip-rn50": lambda c: build_clip(c, "rn50"),
+    "clip-vit-b/32": lambda c: build_clip(c, "vit-b/32"),
+    "clip-vit-b/16": lambda c: build_clip(c, "vit-b/16"),
+}
+
+#: model family per Table II markers (CNN ○ / RNN △ / Transformer □)
+MODEL_FAMILY: dict[str, str] = {
+    "lenet": "cnn", "alexnet": "cnn", "vgg-11": "cnn", "vgg-13": "cnn",
+    "vgg-16": "cnn", "resnet-18": "cnn", "resnet-34": "cnn",
+    "resnet-50": "cnn", "convnext-t": "cnn", "convnext-s": "cnn",
+    "convnext-b": "cnn",
+    "rnn": "rnn", "lstm": "rnn",
+    "vit-t": "transformer", "vit-s": "transformer", "vit-b": "transformer",
+    "swin-t": "transformer", "swin-s": "transformer",
+    "maxvit-t": "transformer", "bert": "transformer",
+    "bert-base": "transformer", "gpt-2": "transformer",
+    "clip-rn50": "transformer", "clip-vit-b/32": "transformer",
+    "clip-vit-b/16": "transformer",
+}
+
+MODEL_REGISTRY = dict(_BUILDERS)
+
+
+def list_models() -> list[str]:
+    """Canonical (lower-case) names of every zoo model."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str, config: ModelConfig | None = None,
+                **overrides) -> ComputationGraph:
+    """Build the named model's computation graph.
+
+    ``overrides`` update fields of ``config`` (a default config is used
+    when none is given), e.g. ``build_model("resnet-50", batch_size=64)``.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; known: {list_models()}")
+    cfg = config or ModelConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return _BUILDERS[key](cfg)

@@ -1,0 +1,43 @@
+"""RNN-based models from Table II (vanilla RNN and LSTM classifiers).
+
+Following the paper's RNN feature treatment, the recurrent stack is a
+single graph operator whose FLOPs derive from input/output tensor sizes;
+the surrounding embedding / projection / classification operators are
+explicit nodes.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationGraph, GraphBuilder
+from .common import ModelConfig
+
+__all__ = ["build_rnn", "build_lstm"]
+
+
+def _recurrent_model(cfg: ModelConfig, kind: str,
+                     num_layers: int = 2) -> ComputationGraph:
+    b = GraphBuilder(
+        f"{kind.lower()}_b{cfg.batch_size}_s{cfg.seq_len}_h{cfg.hidden_size}")
+    tokens = b.input((cfg.batch_size, cfg.seq_len), name="tokens")
+    emb = b.embedding(tokens, vocab_size=cfg.extra.get("vocab_size", 10000),
+                      embed_dim=cfg.input_size)
+    if kind == "LSTM":
+        h = b.lstm(emb, cfg.hidden_size, num_layers=num_layers)
+    else:
+        h = b.rnn(emb, cfg.hidden_size, num_layers=num_layers)
+    # Last-timestep slice -> classifier.
+    last = b.slice(h, (cfg.batch_size, cfg.hidden_size))
+    y = b.linear(last, cfg.hidden_size)
+    y = b.relu(y)
+    y = b.linear(y, cfg.num_classes)
+    return b.finish()
+
+
+def build_rnn(cfg: ModelConfig) -> ComputationGraph:
+    """Vanilla (tanh) RNN sequence classifier."""
+    return _recurrent_model(cfg, "RNN")
+
+
+def build_lstm(cfg: ModelConfig) -> ComputationGraph:
+    """Two-layer LSTM sequence classifier."""
+    return _recurrent_model(cfg, "LSTM")

@@ -1,0 +1,13 @@
+"""Neural-network layers built on :mod:`repro.tensor`."""
+
+from .layers import (Dropout, Identity, LayerNorm, LeakyReLU, Linear, MLP,
+                     ReLU, Sequential, Sigmoid, Tanh)
+from .attention import FeedForward, MultiHeadAttention, TransformerEncoderLayer
+from .recurrent import LSTM, LSTMCell
+
+__all__ = [
+    "Linear", "LayerNorm", "Dropout", "MLP", "Sequential",
+    "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Identity",
+    "MultiHeadAttention", "FeedForward", "TransformerEncoderLayer",
+    "LSTM", "LSTMCell",
+]

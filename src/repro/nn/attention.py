@@ -1,0 +1,97 @@
+"""Multi-head attention and transformer encoder blocks.
+
+These are the building blocks for three separate consumers:
+
+* the Graphormer layers inside DNN-occu (pre-LN residual blocks);
+* the Set Transformer decoder (MAB / SAB / PMA, via cross-attention);
+* the Transformer baseline predictor from Section IV-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Module, Tensor
+from .layers import LayerNorm, Linear
+
+__all__ = ["MultiHeadAttention", "FeedForward", "TransformerEncoderLayer"]
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` heads.
+
+    Supports self-attention (``forward(x)``) and cross-attention
+    (``forward(q, kv)``) on inputs shaped ``(n, dim)`` — single sequences,
+    which is the natural shape for graph-node sets.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng)
+        self.w_k = Linear(dim, dim, rng)
+        self.w_v = Linear(dim, dim, rng)
+        self.w_o = Linear(dim, dim, rng)
+
+    def forward(self, query: Tensor, key_value: Tensor | None = None,
+                attn_bias: Tensor | None = None) -> Tensor:
+        """Attend ``query`` over ``key_value`` (defaults to self-attention).
+
+        ``attn_bias`` — optional additive bias of shape ``(n_q, n_kv)``
+        applied to every head's pre-softmax scores.  Graphormer uses this
+        slot for its structural (shortest-path / edge) encodings.
+        """
+        kv = query if key_value is None else key_value
+        n_q = query.shape[0]
+        n_kv = kv.shape[0]
+        h, d = self.num_heads, self.head_dim
+
+        # (n, dim) -> (heads, n, head_dim)
+        q = self.w_q(query).reshape(n_q, h, d).transpose(1, 0, 2)
+        k = self.w_k(kv).reshape(n_kv, h, d).transpose(1, 0, 2)
+        v = self.w_v(kv).reshape(n_kv, h, d).transpose(1, 0, 2)
+
+        scores = (q @ k.transpose(0, 2, 1)) * (1.0 / np.sqrt(d))
+        if attn_bias is not None:
+            scores = scores + attn_bias.reshape(1, n_q, n_kv)
+        weights = scores.softmax(axis=-1)
+        out = weights @ v  # (heads, n_q, head_dim)
+        out = out.transpose(1, 0, 2).reshape(n_q, self.dim)
+        return self.w_o(out)
+
+
+class FeedForward(Module):
+    """Position-wise two-layer FFN with ReLU."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng)
+        self.fc2 = Linear(hidden_dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN transformer encoder block (the Graphormer formulation):
+
+        h' = MHA(LN(h)) + h
+        h  = FFN(LN(h')) + h'
+    """
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, rng)
+
+    def forward(self, x: Tensor, attn_bias: Tensor | None = None) -> Tensor:
+        x = self.attn(self.ln1(x), attn_bias=attn_bias) + x
+        x = self.ffn(self.ln2(x)) + x
+        return x

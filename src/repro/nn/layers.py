@@ -1,0 +1,140 @@
+"""Core neural-network layers built on the autograd engine.
+
+These mirror the PyTorch layers the paper's implementation uses: ``Linear``,
+``LayerNorm``, ``Dropout``, ``MLP`` stacks, and the activation wrappers
+needed by the ANEE / Graphormer / Set Transformer blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Module, ModuleList, Parameter, Tensor, init
+
+__all__ = ["Linear", "LayerNorm", "Dropout", "MLP", "Sequential",
+           "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Identity"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis, with learnable affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = self.rng.random(x.shape) < keep
+        return x * Tensor(mask / keep)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multilayer perceptron with configurable widths and activation.
+
+    ``widths`` gives the full chain including input and output sizes; e.g.
+    the paper's MLP baseline uses ``[in, 80, 512, 512, 256, 1]``.
+    """
+
+    def __init__(self, widths: list[int], rng: np.random.Generator,
+                 activation: str = "relu", final_activation: bool = False):
+        super().__init__()
+        if len(widths) < 2:
+            raise ValueError("MLP needs at least input and output widths")
+        acts = {"relu": ReLU, "leaky_relu": LeakyReLU, "tanh": Tanh,
+                "sigmoid": Sigmoid}
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}")
+        layers: list[Module] = []
+        for i, (a, b) in enumerate(zip(widths[:-1], widths[1:])):
+            layers.append(Linear(a, b, rng))
+            last = i == len(widths) - 2
+            if not last or final_activation:
+                layers.append(acts[activation]())
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,84 @@
+"""Recurrent layers (LSTM) for the sequence-model baseline.
+
+The paper's LSTM baseline treats the node-feature sequence (topological
+order) as a time series and regresses occupancy from the final hidden state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Module, ModuleList, Parameter, Tensor, init
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate projection.
+
+    Gates are computed as one matmul producing ``4 * hidden`` pre-activations
+    split into input / forget / cell / output, matching cuDNN's layout.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(
+            init.xavier_uniform((4 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(
+            init.xavier_uniform((4 * hidden_size, hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        # Forget-gate bias of 1.0: the standard trick for gradient flow.
+        bias[hidden_size: 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.w_ih.T + h_prev @ self.w_hh.T + self.bias
+        hs = self.hidden_size
+        i = gates[..., 0 * hs:1 * hs].sigmoid()
+        f = gates[..., 1 * hs:2 * hs].sigmoid()
+        g = gates[..., 2 * hs:3 * hs].tanh()
+        o = gates[..., 3 * hs:4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def init_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        shape = (batch, self.hidden_size) if batch else (self.hidden_size,)
+        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over ``(seq, batch, features)`` input.
+
+    Returns the full top-layer output sequence and the final ``(h, c)``
+    states per layer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_layers = num_layers
+        self.hidden_size = hidden_size
+        cells = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size, rng))
+        self.cells = ModuleList(cells)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        seq_len = x.shape[0]
+        batch = x.shape[1] if x.ndim == 3 else 0
+        states = [cell.init_state(batch) for cell in self.cells]
+        outputs: list[Tensor] = []
+        for t in range(seq_len):
+            inp = x[t]
+            for li, cell in enumerate(self.cells):
+                h, c = cell(inp, states[li])
+                states[li] = (h, c)
+                inp = h
+            outputs.append(inp)
+        return Tensor.stack(outputs, axis=0), states

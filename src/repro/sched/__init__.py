@@ -1,0 +1,19 @@
+"""Trace-driven DL workload scheduling (Section VI): jobs, interference,
+packing policies, cluster simulator."""
+
+from .job import Job
+from .interference import InterferenceModel
+from .policies import (NvmlUtilPacking, OccuPacking, PackingPolicy, POLICIES,
+                       SlotPacking)
+from .simulator import ClusterResult, simulate
+from .workload import generate_workload, make_job
+from .trace import jobs_from_dicts, jobs_to_dicts, load_trace, save_trace
+
+__all__ = [
+    "Job", "InterferenceModel",
+    "PackingPolicy", "SlotPacking", "NvmlUtilPacking", "OccuPacking",
+    "POLICIES",
+    "ClusterResult", "simulate",
+    "generate_workload", "make_job",
+    "save_trace", "load_trace", "jobs_to_dicts", "jobs_from_dicts",
+]

@@ -1,0 +1,80 @@
+"""Job model for the co-location scheduling simulation (Section VI-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One DL workload submitted to the cluster.
+
+    ``duration_s`` is the standalone (isolated-GPU) job completion time;
+    co-location stretches it by the interference model.  ``occupancy`` and
+    ``nvml_utilization`` are the *measured* per-iteration metrics; the
+    ``predicted_*`` fields are what the scheduler actually sees (from
+    DNN-occu or the NVML estimator) — keeping the two separate lets the
+    simulation account for prediction error honestly.
+    """
+
+    job_id: int
+    model_name: str
+    duration_s: float
+    occupancy: float
+    nvml_utilization: float
+    memory_bytes: int = 0
+    predicted_occupancy: float | None = None
+    #: predictor uncertainty (e.g. ensemble std); used by risk-aware packing
+    predicted_std: float = 0.0
+    predicted_nvml: float | None = None
+    arrival_s: float = 0.0
+
+    # -- simulation state ------------------------------------------------ #
+    remaining_s: float = field(init=False)
+    start_s: float | None = field(default=None, init=False)
+    finish_s: float | None = field(default=None, init=False)
+    gpu_id: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("job duration must be positive")
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in [0, 1]")
+        self.remaining_s = self.duration_s
+
+    @property
+    def sched_occupancy(self) -> float:
+        """Occupancy as seen by the scheduler (prediction if available)."""
+        return (self.predicted_occupancy
+                if self.predicted_occupancy is not None else self.occupancy)
+
+    @property
+    def sched_nvml(self) -> float:
+        """NVML utilization as seen by the scheduler."""
+        return (self.predicted_nvml
+                if self.predicted_nvml is not None else self.nvml_utilization)
+
+    @property
+    def jct(self) -> float:
+        """Job completion time (finish - arrival); requires completion."""
+        if self.finish_s is None:
+            raise RuntimeError(f"job {self.job_id} has not finished")
+        return self.finish_s - self.arrival_s
+
+    @property
+    def slowdown(self) -> float:
+        """JCT relative to the standalone duration (>= 1 in practice).
+
+        Includes queueing delay; use :attr:`stretch` for interference only.
+        """
+        return self.jct / self.duration_s
+
+    @property
+    def stretch(self) -> float:
+        """Execution-time stretch (finish - start) / duration: the
+        co-location interference component, excluding queue wait."""
+        if self.finish_s is None or self.start_s is None:
+            raise RuntimeError(f"job {self.job_id} has not finished")
+        return (self.finish_s - self.start_s) / self.duration_s

@@ -1,0 +1,53 @@
+"""Workload trace serialization: save/replay scheduling experiments.
+
+"Trace-driven" scheduling means the job stream is a reusable artifact.
+:func:`save_trace` / :func:`load_trace` serialize a job list to JSON so a
+workload can be replayed under different policies, cluster sizes, or
+interference models — and shared alongside the results it produced.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .job import Job
+
+__all__ = ["save_trace", "load_trace", "jobs_to_dicts", "jobs_from_dicts"]
+
+_FORMAT_VERSION = 1
+
+
+def jobs_to_dicts(jobs: list[Job]) -> list[dict]:
+    """Serializable static description of each job (no runtime state)."""
+    return [{
+        "job_id": j.job_id,
+        "model_name": j.model_name,
+        "duration_s": j.duration_s,
+        "occupancy": j.occupancy,
+        "nvml_utilization": j.nvml_utilization,
+        "memory_bytes": j.memory_bytes,
+        "predicted_occupancy": j.predicted_occupancy,
+        "predicted_std": j.predicted_std,
+        "predicted_nvml": j.predicted_nvml,
+        "arrival_s": j.arrival_s,
+    } for j in jobs]
+
+
+def jobs_from_dicts(dicts: list[dict]) -> list[Job]:
+    return [Job(**d) for d in dicts]
+
+
+def save_trace(jobs: list[Job], path: str) -> None:
+    """Write a job trace to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump({"version": _FORMAT_VERSION,
+                   "jobs": jobs_to_dicts(jobs)}, fh, indent=1)
+
+
+def load_trace(path: str) -> list[Job]:
+    """Read a job trace written by :func:`save_trace`."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')}")
+    return jobs_from_dicts(data["jobs"])

@@ -1,0 +1,13 @@
+"""NumPy-backed reverse-mode autograd: tensors, modules, optimizers, init."""
+
+from .tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from .module import Module, ModuleList, Parameter
+from .optim import SGD, Adam, clip_grad_norm
+from . import init
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "as_tensor",
+    "Module", "ModuleList", "Parameter",
+    "SGD", "Adam", "clip_grad_norm",
+    "init",
+]

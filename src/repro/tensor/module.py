@@ -1,0 +1,152 @@
+"""Module base class: parameter containers for the NumPy autograd stack."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` flagged as a trainable parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters stay trainable even when created under no_grad().
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` finds them recursively, in deterministic
+    (insertion) order, which keeps optimizer state aligned with
+    :meth:`state_dict` round-trips.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter traversal ------------------------------------------- #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in this module tree."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- train / eval mode --------------------------------------------- #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for _, sub in self.named_modules():
+            sub.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Module):
+                yield name, value
+                yield from value.named_modules(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+                        yield from item.named_modules(prefix=f"{name}.{i}.")
+
+    # -- serialization --------------------------------------------------- #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = np.asarray(state[name], dtype=np.float64).copy()
+
+    def save(self, path: str) -> None:
+        """Persist parameters to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load parameters saved by :meth:`save` (strict key matching)."""
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    # -- call protocol --------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of sub-modules (mirrors ``nn.ModuleList``)."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+    def named_parameters(self, prefix: str = ""):
+        for i, item in enumerate(self._items):
+            if isinstance(item, Parameter):
+                yield f"{prefix}{i}", item
+            elif isinstance(item, Module):
+                yield from item.named_parameters(prefix=f"{prefix}{i}.")
+
+    def named_modules(self, prefix: str = ""):
+        for i, item in enumerate(self._items):
+            if isinstance(item, Module):
+                yield f"{prefix}{i}", item
+                yield from item.named_modules(prefix=f"{prefix}{i}.")

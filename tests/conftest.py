@@ -1,0 +1,28 @@
+"""Shared fixtures: small cached datasets so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.gpu import A100, P40
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """12 small CNN samples on A100 (session-cached)."""
+    return generate_dataset(["lenet", "alexnet"], [A100],
+                            configs_per_model=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mixed_dataset():
+    """A cross-family, cross-device dataset (session-cached)."""
+    return generate_dataset(["lenet", "rnn", "vgg-11"], [A100, P40],
+                            configs_per_model=3, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,78 @@
+"""Tests for the analysis utilities (per-group errors, correlations,
+table formatting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import correlations, format_table, per_group_errors
+
+
+class TestPerGroupErrors:
+    def test_groups_separated(self):
+        out = per_group_errors(pred=[1.1, 2.2, 0.9],
+                               true=[1.0, 2.0, 1.0],
+                               groups=["a", "b", "a"])
+        assert set(out) == {"a", "b"}
+        assert out["a"]["count"] == 2
+        assert out["b"]["mre_percent"] == pytest.approx(10.0)
+
+    def test_preserves_first_appearance_order(self):
+        out = per_group_errors([1, 1, 1], [1, 1, 1], ["z", "a", "z"])
+        assert list(out) == ["z", "a"]
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            per_group_errors([1.0], [1.0, 2.0], ["a", "b"])
+
+    def test_single_group_matches_global(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0.1, 1, 10)
+        p = t * 1.1
+        out = per_group_errors(p, t, ["g"] * 10)
+        assert out["g"]["mre_percent"] == pytest.approx(10.0)
+
+
+class TestCorrelations:
+    def test_perfect_positive(self):
+        out = correlations([1, 2, 3, 4], [2, 4, 6, 8])
+        assert out["pearson"] == pytest.approx(1.0)
+        assert out["spearman"] == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        out = correlations([1, 2, 3], [3, 2, 1])
+        assert out["pearson"] == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear(self):
+        x = np.linspace(1, 5, 20)
+        out = correlations(x, np.exp(x))
+        assert out["spearman"] == pytest.approx(1.0)
+        assert out["pearson"] < 1.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            correlations([1.0], [2.0])
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.23456], ["b", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        assert "1.235" in lines[2]
+
+    def test_columns_aligned(self):
+        text = format_table(["x", "y"], [["a", 1.0], ["bbbb", 22.0]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # equal widths
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

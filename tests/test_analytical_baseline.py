@@ -1,0 +1,53 @@
+"""Tests for the analytical (ridge-regression) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AnalyticalPredictor
+from repro.data import Dataset, generate_dataset
+from repro.gpu import A100
+
+
+class TestAnalyticalPredictor:
+    def test_fit_predict_shapes(self, tiny_dataset):
+        model = AnalyticalPredictor().fit(tiny_dataset)
+        preds = model.predict(tiny_dataset)
+        assert preds.shape == (len(tiny_dataset),)
+        assert np.all((preds >= 0.0) & (preds <= 1.0))
+
+    def test_fits_training_data_reasonably(self, tiny_dataset):
+        model = AnalyticalPredictor().fit(tiny_dataset)
+        ev = model.evaluate(tiny_dataset)
+        assert ev["mse"] < 0.02
+
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            AnalyticalPredictor().predict(tiny_dataset)
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            AnalyticalPredictor().fit(Dataset([]))
+
+    def test_invalid_ridge_raises(self):
+        with pytest.raises(ValueError):
+            AnalyticalPredictor(ridge=0.0)
+
+    def test_stronger_ridge_shrinks_weights(self, tiny_dataset):
+        soft = AnalyticalPredictor(ridge=1e-4).fit(tiny_dataset)
+        hard = AnalyticalPredictor(ridge=1e3).fit(tiny_dataset)
+        assert np.linalg.norm(hard._weights) < np.linalg.norm(soft._weights)
+
+    def test_generalizes_within_family(self, tiny_dataset):
+        held_out = generate_dataset(["lenet", "alexnet"], [A100],
+                                    configs_per_model=2, seed=123)
+        model = AnalyticalPredictor().fit(tiny_dataset)
+        ev = model.evaluate(held_out)
+        # Coarse but usable on the same model families.
+        assert ev["mre_percent"] < 60.0
+
+    def test_deterministic(self, tiny_dataset):
+        a = AnalyticalPredictor().fit(tiny_dataset).predict(tiny_dataset)
+        b = AnalyticalPredictor().fit(tiny_dataset).predict(tiny_dataset)
+        np.testing.assert_array_equal(a, b)

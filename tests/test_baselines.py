@@ -1,0 +1,125 @@
+"""Baseline predictor tests (MLP, LSTM, Transformer, DNNPerf, BRP-NAS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BRPNASPredictor, DNNPerfPredictor, GCNLayer,
+                             LSTMPredictor, MLPPredictor,
+                             TransformerPredictor)
+from repro.core import TrainConfig, Trainer
+from repro.features import encode_graph
+from repro.gpu import A100
+from repro.models import ModelConfig, build_model
+from repro.tensor import Tensor
+
+SMALL_BASELINES = [
+    (MLPPredictor, dict(widths=(32, 32))),
+    (LSTMPredictor, dict(hidden=16)),
+    (TransformerPredictor, dict(dim=16, ffn_dim=32, num_heads=2)),
+    (DNNPerfPredictor, dict(hidden=16)),
+    (BRPNASPredictor, dict(hidden=16)),
+]
+
+
+@pytest.mark.parametrize("cls,kwargs", SMALL_BASELINES)
+def test_forward_returns_scalar(cls, kwargs, tiny_dataset):
+    model = cls(seed=0, **kwargs)
+    out = model(tiny_dataset[0].features)
+    assert out.shape == ()
+    assert np.isfinite(out.data)
+
+
+@pytest.mark.parametrize("cls,kwargs", SMALL_BASELINES)
+def test_trains_and_improves(cls, kwargs, tiny_dataset):
+    model = cls(seed=0, **kwargs)
+    trainer = Trainer(model, TrainConfig(epochs=10, lr=1e-3, batch_size=4))
+    before = trainer.evaluate(tiny_dataset)["mse"]
+    trainer.fit(tiny_dataset)
+    after = trainer.evaluate(tiny_dataset)["mse"]
+    assert after < before
+
+
+@pytest.mark.parametrize("cls,kwargs", SMALL_BASELINES)
+def test_seeded_construction(cls, kwargs, tiny_dataset):
+    a = cls(seed=4, **kwargs)
+    b = cls(seed=4, **kwargs)
+    s = tiny_dataset[0].features
+    from repro.tensor import no_grad
+    with no_grad():
+        assert float(a(s).data) == float(b(s).data)
+
+
+class TestSubsampling:
+    def test_lstm_caps_sequence(self, tiny_dataset):
+        model = LSTMPredictor(seed=0, hidden=8, max_nodes=4)
+        out = model(tiny_dataset[0].features)  # graphs have >4 nodes
+        assert np.isfinite(out.data)
+
+    def test_transformer_caps_sequence(self, tiny_dataset):
+        model = TransformerPredictor(seed=0, dim=16, ffn_dim=16,
+                                     num_heads=2, max_nodes=4)
+        assert np.isfinite(model(tiny_dataset[0].features).data)
+
+
+class TestBRPNASBlindness:
+    def test_ignores_runtime_features(self):
+        """BRP-NAS sees only graph structure: two batch sizes of the same
+        architecture must give the *same* prediction (the paper's stated
+        limitation)."""
+        model = BRPNASPredictor(seed=0, hidden=16)
+        a = encode_graph(build_model("lenet", ModelConfig(batch_size=16)),
+                         A100)
+        b = encode_graph(build_model("lenet", ModelConfig(batch_size=128)),
+                         A100)
+        from repro.tensor import no_grad
+        with no_grad():
+            assert float(model(a).data) == pytest.approx(float(model(b).data))
+
+    def test_distinguishes_architectures(self):
+        model = BRPNASPredictor(seed=0, hidden=16)
+        a = encode_graph(build_model("lenet", ModelConfig(batch_size=16)),
+                         A100)
+        b = encode_graph(build_model("alexnet", ModelConfig(batch_size=16)),
+                         A100)
+        from repro.tensor import no_grad
+        with no_grad():
+            assert float(model(a).data) != pytest.approx(float(model(b).data))
+
+
+class TestDNNPerfScaleSensitivity:
+    def test_sum_readout_scales_with_graph_size(self, rng):
+        """DNNPerf's sum readout makes its latent grow with node count —
+        the mechanism behind its large unseen-model errors."""
+        model = DNNPerfPredictor(seed=0, hidden=16)
+        small = encode_graph(build_model("lenet", ModelConfig(batch_size=16)),
+                             A100)
+        big = encode_graph(build_model("vgg-16", ModelConfig(batch_size=16)),
+                           A100)
+        from repro.tensor import no_grad
+        with no_grad():
+            p_small = abs(float(model(small).data))
+            p_big = abs(float(model(big).data))
+        assert p_big != pytest.approx(p_small, rel=0.01)
+
+
+class TestGCNLayer:
+    def test_shape(self, rng):
+        layer = GCNLayer(6, 8, rng)
+        h = Tensor(rng.normal(size=(4, 6)))
+        edges = np.array([[0, 1, 2], [1, 2, 3]], dtype=np.intp)
+        assert layer(h, edges).shape == (4, 8)
+
+    def test_handles_isolated_nodes(self, rng):
+        layer = GCNLayer(6, 8, rng)
+        h = Tensor(rng.normal(size=(3, 6)))
+        out = layer(h, np.zeros((2, 0), dtype=np.intp))
+        assert out.shape == (3, 8)
+        assert np.all(np.isfinite(out.data))
+
+    def test_output_nonnegative(self, rng):
+        layer = GCNLayer(6, 8, rng)
+        h = Tensor(rng.normal(size=(4, 6)))
+        edges = np.array([[0, 1], [1, 2]], dtype=np.intp)
+        assert np.all(layer(h, edges).data >= 0)  # ReLU

@@ -1,0 +1,74 @@
+"""CLI tests (profile / predict / schedule subcommands)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_args(self):
+        args = build_parser().parse_args(
+            ["profile", "--model", "lenet", "--batch", "16"])
+        assert args.command == "profile"
+        assert args.batch == 16
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--model", "resnet-101"])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.gpus == 4 and args.device == "P40"
+
+
+class TestCommands:
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "--model", "lenet", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU occupancy" in out
+        assert "NVML utilization" in out
+        assert "limiter" in out
+
+    def test_profile_device_selection(self, capsys):
+        main(["profile", "--model", "lenet", "--device", "p40"])
+        assert "P40" in capsys.readouterr().out
+
+    def test_predict_runs(self, capsys):
+        rc = main(["predict", "--target", "alexnet", "--batch", "16",
+                   "--train-models", "lenet",
+                   "--configs-per-model", "3", "--epochs", "3",
+                   "--hidden", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted occupancy" in out
+        assert "relative error" in out
+
+    def test_schedule_runs(self, capsys):
+        rc = main(["schedule", "--gpus", "2", "--jobs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "occu-packing" in out
+        assert "slot-packing" in out
+
+    def test_trace_writes_json(self, tmp_path, capsys):
+        import json
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "--model", "lenet", "--batch", "8",
+                   "--out", out])
+        assert rc == 0
+        trace = json.loads(open(out).read())
+        assert trace["traceEvents"]
+
+    def test_dataset_saves_npz(self, tmp_path, capsys):
+        from repro.data import load_dataset
+        out = str(tmp_path / "ds.npz")
+        rc = main(["dataset", "--models", "lenet",
+                   "--configs-per-model", "2", "--out", out])
+        assert rc == 0
+        assert len(load_dataset(out)) == 2

@@ -1,0 +1,48 @@
+"""Tests for the benchmark report collector."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _load_collector():
+    spec = importlib.util.spec_from_file_location(
+        "collect_results", ROOT / "benchmarks" / "collect_results.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCollector:
+    def test_build_report_with_fixture_results(self, tmp_path, monkeypatch):
+        mod = _load_collector()
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig2_demo.txt").write_text("batch occupancy\n4 0.1\n")
+        (results / "custom_extra.txt").write_text("hello\n")
+        monkeypatch.setattr(mod, "RESULTS_DIR", str(results))
+        report = mod.build_report()
+        assert "Fig. 2" in report
+        assert "fig2_demo.txt" in report
+        assert "batch occupancy" in report
+        # Unmatched files land under "Other results".
+        assert "Other results" in report
+        assert "custom_extra.txt" in report
+
+    def test_missing_results_dir_exits(self, tmp_path, monkeypatch):
+        mod = _load_collector()
+        monkeypatch.setattr(mod, "RESULTS_DIR", str(tmp_path / "nope"))
+        with pytest.raises(SystemExit):
+            mod.build_report()
+
+    def test_sections_cover_every_paper_artifact(self):
+        mod = _load_collector()
+        prefixes = {s[0] for s in mod.SECTIONS}
+        for required in ("fig2", "fig4", "fig5", "fig6", "fig7",
+                         "table4", "table5", "table6"):
+            assert required in prefixes

@@ -1,0 +1,111 @@
+"""DNN-occu model and trainer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+from repro.data import Dataset
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+
+
+class TestDNNOccuModel:
+    def test_prediction_in_unit_interval(self, small_model, tiny_dataset):
+        for s in list(tiny_dataset)[:4]:
+            p = small_model.predict(s.features)
+            assert 0.0 < p < 1.0
+
+    def test_forward_returns_scalar_tensor(self, small_model, tiny_dataset):
+        out = small_model(tiny_dataset[0].features)
+        assert out.shape == ()
+
+    def test_paper_config(self):
+        cfg = DNNOccuConfig.paper()
+        assert cfg.hidden == 256
+        assert cfg.anee_layers == 1
+        assert cfg.graphormer_layers == 2
+        assert cfg.set_decoder_sabs == 2
+
+    def test_config_controls_depth(self):
+        m = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2,
+                                  graphormer_layers=3, anee_layers=2))
+        assert len(m.graphormer) == 3
+        assert len(m.anee) == 2
+
+    def test_seed_reproducibility(self, tiny_dataset):
+        a = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=3)
+        b = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=3)
+        s = tiny_dataset[0].features
+        assert a.predict(s) == b.predict(s)
+
+    def test_different_graphs_different_predictions(self, small_model,
+                                                    tiny_dataset):
+        preds = {round(small_model.predict(s.features), 10)
+                 for s in tiny_dataset}
+        assert len(preds) > 1
+
+    def test_state_dict_roundtrip(self, tiny_dataset):
+        a = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=1)
+        b = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=2)
+        b.load_state_dict(a.state_dict())
+        s = tiny_dataset[0].features
+        assert a.predict(s) == b.predict(s)
+
+    def test_spd_cache_reused(self, small_model, tiny_dataset):
+        s = tiny_dataset[0].features
+        small_model.predict(s)
+        cache1 = getattr(s, "_spd_cache")
+        small_model.predict(s)
+        assert getattr(s, "_spd_cache") is cache1
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, tiny_dataset):
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        trainer = Trainer(model, TrainConfig(epochs=15, lr=1e-3,
+                                             batch_size=4))
+        hist = trainer.fit(tiny_dataset)
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.5
+
+    def test_fit_on_empty_dataset_raises(self):
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
+        with pytest.raises(ValueError):
+            Trainer(model).fit(Dataset([]))
+
+    def test_predict_shape(self, tiny_dataset):
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
+        preds = Trainer(model).predict(tiny_dataset)
+        assert preds.shape == (len(tiny_dataset),)
+        assert np.all((preds > 0) & (preds < 1))
+
+    def test_evaluate_keys(self, tiny_dataset):
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
+        ev = Trainer(model).evaluate(tiny_dataset)
+        assert set(ev) == {"mre_percent", "mse"}
+        assert ev["mse"] >= 0
+
+    def test_validation_history(self, tiny_dataset, rng):
+        train, val = tiny_dataset.split(0.7, rng)
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
+        trainer = Trainer(model, TrainConfig(epochs=3, lr=1e-3))
+        hist = trainer.fit(train, val=val)
+        assert len(hist.val_loss) == 3
+
+    def test_training_is_seeded(self, tiny_dataset):
+        evals = []
+        for _ in range(2):
+            model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+            tr = Trainer(model, TrainConfig(epochs=3, lr=1e-3, seed=1))
+            tr.fit(tiny_dataset)
+            evals.append(tr.evaluate(tiny_dataset)["mse"])
+        assert evals[0] == evals[1]
+
+    def test_eval_mode_after_fit(self, tiny_dataset):
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
+        Trainer(model, TrainConfig(epochs=1)).fit(tiny_dataset)
+        assert not model.training

@@ -1,0 +1,115 @@
+"""Dataset-generation tests (Table II domains, splits, filters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (Dataset, SEEN_MODELS, UNSEEN_MODELS, config_domain,
+                        generate_dataset, sample_config)
+from repro.gpu import A100, P40
+from repro.models import list_models
+
+
+class TestDomains:
+    def test_cnn_domain_matches_table2(self):
+        d = config_domain("resnet-18")
+        assert d["batch_size"] == tuple(range(16, 129, 4))
+        assert d["in_channels"] == tuple(range(1, 11))
+
+    def test_rnn_domain_matches_table2(self):
+        d = config_domain("lstm")
+        assert d["batch_size"][0] == 128 and d["batch_size"][-1] == 512
+        assert d["seq_len"][0] == 16 and d["seq_len"][-1] == 128
+
+    def test_transformer_domain_matches_table2(self):
+        d = config_domain("bert")
+        assert d["seq_len"][0] == 20 and d["seq_len"][-1] == 512
+
+    def test_every_model_has_domain(self):
+        for name in list_models():
+            assert config_domain(name)
+
+    def test_sample_within_domain(self, rng):
+        for _ in range(20):
+            cfg = sample_config("vgg-11", rng)
+            assert 16 <= cfg.batch_size <= 128
+            assert 1 <= cfg.in_channels <= 10
+
+    def test_sampling_deterministic_by_seed(self):
+        a = sample_config("vgg-11", np.random.default_rng(5))
+        b = sample_config("vgg-11", np.random.default_rng(5))
+        assert a == b
+
+
+class TestSplitConstants:
+    def test_paper_split_membership(self):
+        assert "vit-t" in SEEN_MODELS and "lenet" in SEEN_MODELS
+        assert "resnet-50" in UNSEEN_MODELS and "bert" in UNSEEN_MODELS
+        assert not set(SEEN_MODELS) & set(UNSEEN_MODELS)
+
+    def test_all_split_models_in_zoo(self):
+        zoo = set(list_models())
+        assert set(SEEN_MODELS) <= zoo
+        assert set(UNSEEN_MODELS) <= zoo
+
+
+class TestGeneration:
+    def test_sizes(self, tiny_dataset):
+        assert len(tiny_dataset) == 12  # 2 models x 1 device x 6 configs
+
+    def test_sample_fields(self, tiny_dataset):
+        s = tiny_dataset[0]
+        assert 0.0 < s.occupancy < 1.0
+        assert 0.0 < s.nvml_utilization <= 1.0
+        assert s.num_nodes == s.features.num_nodes
+        assert s.device_name == "A100"
+
+    def test_labels_vector(self, tiny_dataset):
+        labels = tiny_dataset.labels()
+        assert labels.shape == (12,)
+        assert np.all((labels > 0) & (labels < 1))
+
+    def test_deterministic_generation(self):
+        a = generate_dataset(["lenet"], [A100], 3, seed=5)
+        b = generate_dataset(["lenet"], [A100], 3, seed=5)
+        np.testing.assert_array_equal(a.labels(), b.labels())
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(["lenet"], [A100], 3, seed=5)
+        b = generate_dataset(["lenet"], [A100], 3, seed=6)
+        assert not np.array_equal(a.labels(), b.labels())
+
+    def test_no_duplicate_configs_per_model_device(self, tiny_dataset):
+        keys = [(s.model_name, s.device_name, s.config.batch_size,
+                 s.config.in_channels, s.config.seq_len)
+                for s in tiny_dataset]
+        assert len(keys) == len(set(keys))
+
+    def test_multi_device(self, mixed_dataset):
+        devices = {s.device_name for s in mixed_dataset}
+        assert devices == {"A100", "P40"}
+
+
+class TestDatasetOps:
+    def test_filter_models(self, mixed_dataset):
+        sub = mixed_dataset.filter_models(["rnn"])
+        assert len(sub) > 0
+        assert all(s.model_name == "rnn" for s in sub)
+
+    def test_filter_devices(self, mixed_dataset):
+        sub = mixed_dataset.filter_devices(["P40"])
+        assert all(s.device_name == "P40" for s in sub)
+
+    def test_split_partitions(self, mixed_dataset, rng):
+        train, test = mixed_dataset.split(0.75, rng)
+        assert len(train) + len(test) == len(mixed_dataset)
+        assert len(train) == round(0.75 * len(mixed_dataset))
+
+    def test_split_no_overlap(self, mixed_dataset, rng):
+        train, test = mixed_dataset.split(0.5, rng)
+        train_ids = {id(s) for s in train}
+        assert all(id(s) not in train_ids for s in test)
+
+    def test_indexing_and_iteration(self, tiny_dataset):
+        assert tiny_dataset[0] is list(iter(tiny_dataset))[0]

@@ -1,0 +1,65 @@
+"""Tests for k-fold cross-validation and dataset summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, k_fold, summarize
+
+
+class TestKFold:
+    def test_covers_every_sample_once(self, mixed_dataset, rng):
+        seen = []
+        for train, val in k_fold(mixed_dataset, 3, rng):
+            assert len(train) + len(val) == len(mixed_dataset)
+            seen.extend(id(s) for s in val)
+        assert sorted(seen) == sorted(id(s) for s in mixed_dataset)
+
+    def test_fold_sizes_balanced(self, mixed_dataset, rng):
+        sizes = [len(val) for _, val in k_fold(mixed_dataset, 3, rng)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_train_val_overlap(self, mixed_dataset, rng):
+        for train, val in k_fold(mixed_dataset, 3, rng):
+            train_ids = {id(s) for s in train}
+            assert not any(id(s) in train_ids for s in val)
+
+    def test_reproducible_by_seed(self, mixed_dataset):
+        a = [len(v) and v[0].occupancy for _, v in
+             k_fold(mixed_dataset, 3, np.random.default_rng(5))]
+        b = [len(v) and v[0].occupancy for _, v in
+             k_fold(mixed_dataset, 3, np.random.default_rng(5))]
+        assert a == b
+
+    def test_invalid_k(self, mixed_dataset, rng):
+        with pytest.raises(ValueError):
+            list(k_fold(mixed_dataset, 1, rng))
+        with pytest.raises(ValueError):
+            list(k_fold(Dataset([]), 2, rng))
+
+
+class TestSummarize:
+    def test_empty_dataset(self):
+        out = summarize(Dataset([]))
+        assert out["count"] == 0
+
+    def test_counts_add_up(self, mixed_dataset):
+        out = summarize(mixed_dataset)
+        assert out["count"] == len(mixed_dataset)
+        assert sum(v["count"] for v in out["families"].values()) == \
+            len(mixed_dataset)
+        assert sum(v["count"] for v in out["devices"].values()) == \
+            len(mixed_dataset)
+
+    def test_families_detected(self, mixed_dataset):
+        out = summarize(mixed_dataset)
+        assert "cnn" in out["families"]
+        assert "rnn" in out["families"]
+
+    def test_bounds_consistent(self, mixed_dataset):
+        out = summarize(mixed_dataset)
+        o = out["overall"]
+        assert o["occupancy_min"] <= o["occupancy_mean"] \
+            <= o["occupancy_max"]
+        assert o["nodes_min"] <= o["nodes_max"]

@@ -1,0 +1,29 @@
+"""Examples must at least import-compile (full runs are minutes-long)."""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    text = path.read_text()
+    assert '__name__ == "__main__"' in text
+    assert '"""' in text.split("\n", 3)[1] or text.startswith("#!")

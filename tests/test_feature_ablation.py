@@ -1,0 +1,71 @@
+"""Tests for the feature-block registry and ablation helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import (encode_graph, feature_blocks, node_feature_dim,
+                            zero_feature_block)
+from repro.gpu import A100
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return encode_graph(build_model("alexnet", ModelConfig(batch_size=16)),
+                        A100)
+
+
+class TestFeatureBlocks:
+    def test_blocks_partition_vector(self):
+        blocks = feature_blocks()
+        covered = sorted((s.start, s.stop) for s in blocks.values())
+        assert covered[0][0] == 0
+        assert covered[-1][1] == node_feature_dim()
+        for (a, b), (c, d) in zip(covered, covered[1:]):
+            assert b == c  # contiguous, no gaps or overlaps
+
+    def test_expected_block_names(self):
+        assert set(feature_blocks()) == {
+            "op_type", "hyperparams", "sizes", "flops", "out_size",
+            "shape", "batch_linear", "device"}
+
+
+class TestZeroFeatureBlock:
+    def test_zeroes_only_target_block(self, gf):
+        blocks = feature_blocks()
+        z = zero_feature_block(gf, "flops")
+        assert np.all(z.node_features[:, blocks["flops"]] == 0.0)
+        # Other blocks untouched.
+        np.testing.assert_array_equal(
+            z.node_features[:, blocks["op_type"]],
+            gf.node_features[:, blocks["op_type"]])
+
+    def test_original_not_mutated(self, gf):
+        before = gf.node_features.copy()
+        zero_feature_block(gf, "device")
+        np.testing.assert_array_equal(gf.node_features, before)
+
+    def test_edges_block(self, gf):
+        z = zero_feature_block(gf, "edges")
+        assert np.all(z.edge_features == 0.0)
+        np.testing.assert_array_equal(z.node_features, gf.node_features)
+
+    def test_unknown_block_raises(self, gf):
+        with pytest.raises(KeyError):
+            zero_feature_block(gf, "colour")
+
+    def test_model_still_runs_on_ablated_features(self, gf):
+        from repro.core import DNNOccu, DNNOccuConfig
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        for block in ("device", "flops", "edges"):
+            p = model.predict(zero_feature_block(gf, block))
+            assert 0.0 < p < 1.0
+
+    def test_ablation_changes_prediction(self, gf):
+        from repro.core import DNNOccu, DNNOccuConfig
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        base = model.predict(gf)
+        ablated = model.predict(zero_feature_block(gf, "op_type"))
+        assert base != ablated

@@ -1,0 +1,123 @@
+"""Feature-engineering tests (Table I encodings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import (edge_feature_dim, encode_edge, encode_graph,
+                            encode_node, node_feature_dim)
+from repro.graph import DataEdge, GraphBuilder, OP_TYPES, OpNode, \
+    op_type_index
+from repro.gpu import A100, P40, RTX2080TI
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    b = GraphBuilder("g")
+    x = b.input((4, 3, 32, 32))
+    y = b.conv2d(x, 8, 3, padding=1)
+    y = b.relu(y)
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    b.linear(y, 10)
+    return b.finish()
+
+
+class TestNodeEncoding:
+    def test_vector_length_matches_declared_dim(self, small_graph):
+        for node in small_graph.nodes.values():
+            assert encode_node(node, A100).shape == (node_feature_dim(),)
+
+    def test_one_hot_is_exclusive(self, small_graph):
+        for node in small_graph.nodes.values():
+            onehot = encode_node(node, A100)[:len(OP_TYPES)]
+            assert onehot.sum() == 1.0
+            assert onehot[op_type_index(node.op_type)] == 1.0
+
+    def test_features_bounded(self, small_graph):
+        for node in small_graph.nodes.values():
+            vec = encode_node(node, A100)
+            assert np.all(np.isfinite(vec))
+            assert np.all(np.abs(vec) < 3.0)
+
+    def test_device_features_differ(self, small_graph):
+        node = small_graph.nodes[1]
+        a = encode_node(node, A100)
+        p = encode_node(node, P40)
+        assert not np.allclose(a, p)
+        # Only the device tail should differ.
+        assert np.allclose(a[:-5], p[:-5])
+
+    def test_hyperparams_reflected(self):
+        n1 = OpNode(0, "Conv2d",
+                    attrs={"in_channels": 3, "out_channels": 8,
+                           "kernel_size": (3, 3), "stride": (1, 1),
+                           "padding": (1, 1), "groups": 1},
+                    input_shapes=[(1, 3, 8, 8)], output_shape=(1, 8, 8, 8))
+        n2 = OpNode(0, "Conv2d",
+                    attrs={"in_channels": 3, "out_channels": 64,
+                           "kernel_size": (7, 7), "stride": (2, 2),
+                           "padding": (3, 3), "groups": 1},
+                    input_shapes=[(1, 3, 8, 8)], output_shape=(1, 64, 1, 1))
+        assert not np.allclose(encode_node(n1, A100), encode_node(n2, A100))
+
+    def test_encoding_deterministic(self, small_graph):
+        node = small_graph.nodes[1]
+        np.testing.assert_array_equal(encode_node(node, A100),
+                                      encode_node(node, A100))
+
+
+class TestEdgeEncoding:
+    def test_vector_length(self):
+        e = DataEdge(src=0, dst=1, tensor_shape=(4, 4))
+        assert encode_edge(e, A100).shape == (edge_feature_dim(),)
+
+    def test_edge_type_one_hot(self):
+        fwd = encode_edge(DataEdge(0, 1, (4,), "forward"), A100)
+        bwd = encode_edge(DataEdge(0, 1, (4,), "backward"), A100)
+        assert fwd[0] == 1.0 and fwd[1] == 0.0
+        assert bwd[0] == 0.0 and bwd[1] == 1.0
+
+    def test_tensor_size_monotone(self):
+        small = encode_edge(DataEdge(0, 1, (4,)), A100)[2]
+        big = encode_edge(DataEdge(0, 1, (4096, 4096)), A100)[2]
+        assert big > small
+
+    def test_bandwidth_feature_device_dependent(self):
+        e = DataEdge(0, 1, (4,))
+        assert encode_edge(e, A100)[3] > encode_edge(e, P40)[3]
+
+
+class TestGraphEncoding:
+    def test_shapes(self, small_graph):
+        gf = encode_graph(small_graph, A100)
+        assert gf.node_features.shape == (small_graph.num_nodes,
+                                          node_feature_dim())
+        assert gf.edge_features.shape == (small_graph.num_edges,
+                                          edge_feature_dim())
+        assert gf.edge_index.shape == (2, small_graph.num_edges)
+
+    def test_edge_index_in_range(self, small_graph):
+        gf = encode_graph(small_graph, A100)
+        assert gf.edge_index.min() >= 0
+        assert gf.edge_index.max() < gf.num_nodes
+
+    def test_metadata(self, small_graph):
+        gf = encode_graph(small_graph, RTX2080TI)
+        assert gf.model_name == "g"
+        assert gf.device_name == "RTX2080Ti"
+
+    def test_full_zoo_model_encodes(self):
+        g = build_model("vit-t", ModelConfig(batch_size=8))
+        gf = encode_graph(g, A100)
+        assert gf.num_nodes == g.num_nodes
+        assert np.all(np.isfinite(gf.node_features))
+
+    def test_different_configs_give_different_features(self):
+        a = encode_graph(build_model("lenet", ModelConfig(batch_size=16)),
+                         A100)
+        b = encode_graph(build_model("lenet", ModelConfig(batch_size=64)),
+                         A100)
+        assert not np.allclose(a.node_features, b.node_features)

@@ -1,0 +1,89 @@
+"""Property-based tests for the elementwise-fusion pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder
+from repro.gpu import fuse_elementwise
+
+#: elementwise ops the builder can chain after a conv
+_ACTS = ("relu", "gelu", "silu", "sigmoid", "tanh", "batchnorm2d", "scale")
+
+
+def _apply(b: GraphBuilder, ref, op: str):
+    return getattr(b, op)(ref)
+
+
+@st.composite
+def conv_chains(draw):
+    """A random Conv -> (elementwise)* chain spec."""
+    n_convs = draw(st.integers(1, 3))
+    chain = []
+    for _ in range(n_convs):
+        chain.append(("conv", draw(st.sampled_from((4, 8)))))
+        for _ in range(draw(st.integers(0, 3))):
+            chain.append(("act", draw(st.sampled_from(_ACTS))))
+    return chain
+
+
+def build_chain(spec) -> GraphBuilder:
+    b = GraphBuilder("chain")
+    ref = b.input((2, 4, 8, 8))
+    for kind, arg in spec:
+        if kind == "conv":
+            ref = b.conv2d(ref, arg, 3, padding=1)
+        else:
+            ref = _apply(b, ref, arg)
+    return b
+
+
+class TestFusionProperties:
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_flops_conserved(self, spec):
+        g = build_chain(spec).finish()
+        f = fuse_elementwise(g)
+        assert f.total_flops() == g.total_flops()
+
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_fused_graph_valid_and_smaller_or_equal(self, spec):
+        g = build_chain(spec).finish()
+        f = fuse_elementwise(g)
+        f.validate()
+        assert f.num_nodes <= g.num_nodes
+        assert f.num_edges <= g.num_edges
+
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_all_chained_elementwise_absorbed(self, spec):
+        g = build_chain(spec).finish()
+        f = fuse_elementwise(g)
+        hist = f.op_type_histogram()
+        # In a pure chain every elementwise op has a single heavy(-rooted)
+        # producer with one consumer, so all of them fuse.
+        for op in ("ReLU", "GELU", "SiLU", "Sigmoid", "Tanh",
+                   "BatchNorm2d", "Scale"):
+            assert op not in hist, (spec, hist)
+
+    @given(conv_chains())
+    @settings(max_examples=30, deadline=None)
+    def test_fusion_idempotent(self, spec):
+        g = build_chain(spec).finish()
+        once = fuse_elementwise(g)
+        twice = fuse_elementwise(once)
+        assert twice.num_nodes == once.num_nodes
+        assert twice.total_flops() == once.total_flops()
+
+    @given(conv_chains())
+    @settings(max_examples=30, deadline=None)
+    def test_final_output_shape_preserved(self, spec):
+        g = build_chain(spec).finish()
+        f = fuse_elementwise(g)
+        last_g = g.nodes[g.topological_order()[-1]]
+        last_f = f.nodes[f.topological_order()[-1]]
+        assert last_f.output_shape == last_g.output_shape

@@ -1,0 +1,128 @@
+"""Kernel-level co-location simulation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import (A100, P40, calibrate_interference, co_run,
+                       pair_slowdown, profile_graph)
+from repro.gpu.profiler import KernelRecord, ProfileResult
+from repro.models import ModelConfig, build_model
+from repro.sched import InterferenceModel
+
+
+def synthetic_profile(occ: float, duration: float = 1e-3,
+                      device: str = "A100", gap: float = 0.0,
+                      name: str = "m") -> ProfileResult:
+    """One-kernel profile with chosen occupancy/duration/gap."""
+    prof = ProfileResult(model_name=name, device_name=device)
+    prof.records = [KernelRecord(
+        name="k", node_id=0, duration_s=duration, occupancy=occ,
+        theoretical_occupancy=occ, limiter="warps", flops=1.0,
+        bytes_moved=1.0, count=1)]
+    prof.busy_time_s = duration
+    prof.wall_time_s = duration + gap
+    return prof
+
+
+@pytest.fixture(scope="module")
+def real_profiles():
+    cfg = ModelConfig(batch_size=32)
+    return [profile_graph(build_model(m, cfg), A100)
+            for m in ("alexnet", "vgg-11", "resnet-18")]
+
+
+class TestCoRun:
+    def test_single_stream_unchanged(self):
+        p = synthetic_profile(0.5)
+        (t,) = co_run([p])
+        assert t == pytest.approx(p.wall_time_s)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            co_run([])
+
+    def test_mixed_devices_rejected(self):
+        a = synthetic_profile(0.3, device="A100")
+        b = synthetic_profile(0.3, device="P40")
+        with pytest.raises(ValueError, match="devices"):
+            co_run([a, b])
+
+    def test_under_capacity_pays_bandwidth_tax_only(self):
+        from repro.gpu import BANDWIDTH_TAX
+        a = synthetic_profile(0.3)
+        b = synthetic_profile(0.3)
+        s_a, s_b = pair_slowdown(a, b)
+        expected = 1.0 + BANDWIDTH_TAX * 0.3
+        assert s_a == pytest.approx(expected, rel=1e-6)
+        assert s_b == pytest.approx(expected, rel=1e-6)
+
+    def test_over_capacity_time_slices(self):
+        a = synthetic_profile(0.8)
+        b = synthetic_profile(0.8)
+        s_a, _ = pair_slowdown(a, b)
+        # Over-committed: at least the 1/total slicing factor (1.6x).
+        assert s_a > 1.6
+
+    def test_gap_streams_do_not_contend(self):
+        # A stream that is all CPU gap leaves the other untouched.
+        a = synthetic_profile(0.9)
+        idle = synthetic_profile(0.0, duration=1e-9, gap=5e-3)
+        s_a, _ = pair_slowdown(a, idle)
+        assert s_a == pytest.approx(1.0, abs=1e-6)
+
+    def test_slowdown_monotone_in_co_runner_occupancy(self):
+        base = synthetic_profile(0.4)
+        slows = [pair_slowdown(base, synthetic_profile(o))[0]
+                 for o in (0.1, 0.4, 0.7, 0.9)]
+        assert slows == sorted(slows)
+
+    def test_real_profiles_slow_each_other(self, real_profiles):
+        a, b = real_profiles[0], real_profiles[1]
+        s_a, s_b = pair_slowdown(a, b)
+        assert s_a >= 1.0 and s_b >= 1.0
+        assert max(s_a, s_b) > 1.0
+
+    def test_three_way_worse_than_two_way(self, real_profiles):
+        a, b, c = real_profiles
+        two = co_run([a, b])[0]
+        three = co_run([a, b, c])[0]
+        assert three >= two - 1e-12
+
+
+class TestCalibration:
+    def test_returns_interference_model(self, real_profiles):
+        m = calibrate_interference(real_profiles, num_pairs=30)
+        assert isinstance(m, InterferenceModel)
+        assert m.alpha >= 0.0 and m.beta >= 0.0
+
+    def test_calibrated_alpha_near_bandwidth_tax(self):
+        from repro.gpu import BANDWIDTH_TAX
+        profs = [synthetic_profile(o) for o in (0.2, 0.3, 0.4, 0.5)]
+        m = calibrate_interference(profs, num_pairs=80)
+        # All pairs stay under capacity: alpha recovers the tax closely.
+        assert m.alpha == pytest.approx(BANDWIDTH_TAX, rel=0.25)
+
+    def test_beta_positive_with_overcommit(self):
+        profs = [synthetic_profile(o) for o in (0.6, 0.7, 0.8, 0.9)]
+        m = calibrate_interference(profs, num_pairs=80)
+        assert m.beta > 0.0
+
+    def test_too_few_profiles_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_interference([synthetic_profile(0.5)])
+
+    def test_calibrated_model_predicts_simulation(self):
+        """The fitted parametric model tracks kernel-level slowdowns."""
+        profs = [synthetic_profile(o) for o in np.linspace(0.15, 0.85, 6)]
+        m = calibrate_interference(profs, num_pairs=100)
+        errs = []
+        for a in profs:
+            for b in profs:
+                if a is b:
+                    continue
+                sim, _ = pair_slowdown(a, b)
+                par = m.slowdown(a.occupancy, [b.occupancy])
+                errs.append(abs(sim - par))
+        assert float(np.mean(errs)) < 0.15

@@ -1,0 +1,92 @@
+"""Elementwise-fusion pass tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.gpu import A100, fuse_elementwise, profile_graph
+from repro.models import ModelConfig, build_model
+
+
+def conv_bn_relu_graph():
+    b = GraphBuilder("cbr")
+    x = b.input((4, 3, 16, 16))
+    y = b.conv2d(x, 8, 3, padding=1)
+    y = b.batchnorm2d(y)
+    y = b.relu(y)
+    b.global_avgpool(y)
+    return b.finish()
+
+
+class TestFusion:
+    def test_chain_collapses(self):
+        g = conv_bn_relu_graph()
+        f = fuse_elementwise(g)
+        hist = f.op_type_histogram()
+        assert "BatchNorm2d" not in hist
+        assert "ReLU" not in hist
+        assert f.num_nodes == g.num_nodes - 2
+
+    def test_flops_conserved(self):
+        g = conv_bn_relu_graph()
+        f = fuse_elementwise(g)
+        assert f.total_flops() == g.total_flops()
+
+    def test_fused_graph_validates(self):
+        fuse_elementwise(conv_bn_relu_graph()).validate()
+
+    def test_original_untouched(self):
+        g = conv_bn_relu_graph()
+        n = g.num_nodes
+        fuse_elementwise(g)
+        assert g.num_nodes == n
+
+    def test_shared_output_blocks_fusion(self):
+        # Conv output also feeds an Add -> the ReLU must NOT fuse.
+        b = GraphBuilder("branch")
+        x = b.input((2, 4, 8, 8))
+        y = b.conv2d(x, 4, 3, padding=1)
+        r = b.relu(y)
+        b.add(r, y)
+        g = b.finish()
+        f = fuse_elementwise(g)
+        assert "ReLU" in f.op_type_histogram()
+
+    def test_elementwise_without_heavy_producer_kept(self):
+        b = GraphBuilder("pool_act")
+        x = b.input((2, 4, 8, 8))
+        y = b.maxpool2d(x, 2, 2)
+        b.relu(y)  # producer is a pool, not a heavy op
+        f = fuse_elementwise(b.finish())
+        assert "ReLU" in f.op_type_histogram()
+
+    def test_resnet_fusion_reduces_kernels(self):
+        g = build_model("resnet-18", ModelConfig(batch_size=16))
+        f = fuse_elementwise(g)
+        assert f.num_nodes < g.num_nodes
+        p_orig = profile_graph(g, A100, check_memory=False)
+        p_fused = profile_graph(f, A100, check_memory=False)
+        assert p_fused.num_kernels < p_orig.num_kernels
+
+    def test_fusion_shifts_occupancy_down(self):
+        """Fused graphs lose the high-occupancy elementwise kernels, so
+        the duration-weighted occupancy drops (GEMM share grows)."""
+        g = build_model("vgg-11", ModelConfig(batch_size=32))
+        f = fuse_elementwise(g)
+        occ_orig = profile_graph(g, A100, check_memory=False).occupancy
+        occ_fused = profile_graph(f, A100, check_memory=False).occupancy
+        assert occ_fused <= occ_orig + 1e-9
+
+    def test_default_name(self):
+        assert fuse_elementwise(conv_bn_relu_graph()).name.endswith("_fused")
+
+    def test_output_shape_propagated(self):
+        b = GraphBuilder("shape")
+        x = b.input((2, 4, 8, 8))
+        y = b.conv2d(x, 6, 3, padding=1)
+        b.relu(y)
+        f = fuse_elementwise(b.finish())
+        conv = next(n for n in f.nodes.values() if n.op_type == "Conv2d")
+        assert conv.output_shape == (2, 6, 8, 8)
+        assert conv.name.endswith("_fused")

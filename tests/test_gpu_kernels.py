@@ -1,0 +1,189 @@
+"""Kernel-lowering tests: tile selection, per-operator lowering rules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.gpu import A100, P40, RTX2080TI, GemmShape, lower_node
+from repro.gpu.kernels import _select_gemm_tile
+
+
+def build_single(fn):
+    """Build a one-op graph via ``fn(builder, input_ref)`` and return the
+    op node."""
+    b = GraphBuilder("single")
+    x = b.input((8, 16, 32, 32))
+    ref = fn(b, x)
+    return b.graph.nodes[ref.node_id]
+
+
+class TestGemmTileSelection:
+    def test_large_problem_gets_large_tile(self):
+        tm, tn, *_ = _select_gemm_tile(GemmShape(m=4096, n=4096, k=512))
+        assert (tm, tn) == (128, 128)
+
+    def test_small_problem_gets_small_tile(self):
+        tm, tn, *_ = _select_gemm_tile(GemmShape(m=16, n=16, k=512))
+        assert (tm, tn) == (32, 32)
+
+    def test_narrow_problem_avoids_wide_tile(self):
+        tm, tn, *_ = _select_gemm_tile(GemmShape(m=4096, n=48, k=64))
+        assert tn <= 64
+
+
+class TestConvLowering:
+    def test_implicit_gemm_for_strided_conv(self):
+        node = build_single(lambda b, x: b.conv2d(x, 32, 5, stride=2,
+                                                  padding=2))
+        kernels = lower_node(node, A100)
+        assert len(kernels) == 1
+        assert "implicit_gemm" in kernels[0].name
+
+    def test_winograd_for_3x3_stride1(self):
+        node = build_single(lambda b, x: b.conv2d(x, 32, 3, padding=1))
+        kernels = lower_node(node, A100)
+        assert "winograd" in kernels[0].name
+
+    def test_depthwise_is_elementwise_style(self):
+        node = build_single(lambda b, x: b.conv2d(x, 16, 3, padding=1,
+                                                  groups=16))
+        kernels = lower_node(node, A100)
+        assert kernels[0].smem_per_block == 0
+
+    def test_conv_grid_scales_with_batch(self):
+        small = build_single(lambda b, x: b.conv2d(x, 32, 5, stride=2,
+                                                   padding=2))
+        b2 = GraphBuilder("big")
+        x2 = b2.input((64, 16, 32, 32))
+        ref = b2.conv2d(x2, 32, 5, stride=2, padding=2)
+        big = b2.graph.nodes[ref.node_id]
+        g_small = lower_node(small, A100)[0].grid_blocks
+        g_big = lower_node(big, A100)[0].grid_blocks
+        assert g_big > g_small
+
+
+class TestOtherOps:
+    def test_input_lowered_to_nothing(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 3, 8, 8))
+        assert lower_node(b.graph.nodes[x.node_id], A100) == []
+
+    def test_reshape_is_free(self):
+        node = build_single(lambda b, x: b.reshape(x, (8, 16 * 32 * 32)))
+        assert lower_node(node, A100) == []
+
+    def test_transpose_copies(self):
+        node = build_single(lambda b, x: b.transpose(x, (0, 2, 3, 1)))
+        kernels = lower_node(node, A100)
+        assert len(kernels) == 1 and kernels[0].flops == 0
+
+    def test_elementwise_grid_size(self):
+        node = build_single(lambda b, x: b.relu(x))
+        kern = lower_node(node, A100)[0]
+        numel = 8 * 16 * 32 * 32
+        assert kern.grid_blocks == math.ceil(numel / (128 * 4))
+
+    def test_softmax_one_block_per_row(self):
+        b = GraphBuilder("g")
+        x = b.input((4, 10, 50))
+        ref = b.softmax(x)
+        kern = lower_node(b.graph.nodes[ref.node_id], A100)[0]
+        assert kern.grid_blocks == 40
+        assert kern.smem_per_block > 0
+
+    def test_softmax_threads_power_of_two(self):
+        b = GraphBuilder("g")
+        x = b.input((2, 100))
+        kern = lower_node(b.graph.nodes[b.softmax(x).node_id], A100)[0]
+        assert kern.threads_per_block & (kern.threads_per_block - 1) == 0
+
+    def test_lstm_emits_gemm_and_pointwise_with_step_count(self):
+        b = GraphBuilder("g")
+        x = b.input((32, 20, 64))
+        ref = b.lstm(x, 128, num_layers=2)
+        kernels = lower_node(b.graph.nodes[ref.node_id], A100)
+        assert len(kernels) == 2
+        assert all(k.count == 20 * 2 for k in kernels)
+
+    def test_unknown_op_raises(self):
+        node = build_single(lambda b, x: b.relu(x))
+        node.op_type = "Quantum"
+        with pytest.raises(KeyError):
+            lower_node(node, A100)
+
+
+class TestKernelDetails:
+    def test_deep_reduction_spills_registers(self):
+        from repro.gpu.kernels import _lower_gemm
+        shallow = _lower_gemm("g", GemmShape(m=256, n=256, k=256), 0.0, 0.0)
+        deep = _lower_gemm("g", GemmShape(m=256, n=256, k=4096), 0.0, 0.0)
+        assert deep.regs_per_thread > shallow.regs_per_thread
+
+    def test_row_reduce_threads_capped_at_1024(self):
+        b = GraphBuilder("g")
+        x = b.input((2, 8192))
+        kern = lower_node(b.graph.nodes[b.softmax(x).node_id], A100)[0]
+        assert kern.threads_per_block == 1024
+
+    def test_row_reduce_threads_floor_64(self):
+        b = GraphBuilder("g")
+        x = b.input((2, 4))
+        kern = lower_node(b.graph.nodes[b.softmax(x).node_id], A100)[0]
+        assert kern.threads_per_block >= 64
+
+    def test_gemm_flops_match_graph_node(self):
+        b = GraphBuilder("g")
+        x = b.input((64, 128))
+        ref = b.linear(x, 256)
+        node = b.graph.nodes[ref.node_id]
+        kern = lower_node(node, A100)[0]
+        assert kern.flops == node.flops
+
+    def test_batched_matmul_grid_scales_with_batch(self):
+        def grid(batch):
+            b = GraphBuilder("g")
+            p = b.input((batch, 64, 64))
+            q = b.input((batch, 64, 64))
+            ref = b.matmul(p, q)
+            return lower_node(b.graph.nodes[ref.node_id], A100)[0].grid_blocks
+        assert grid(8) == 2 * grid(4)
+
+    def test_rnn_single_gate_vs_lstm_four(self):
+        b = GraphBuilder("g")
+        x1 = b.input((32, 10, 64))
+        lstm = lower_node(b.graph.nodes[b.lstm(x1, 64).node_id], A100)
+        x2 = b.input((32, 10, 64))
+        rnn = lower_node(b.graph.nodes[b.rnn(x2, 64).node_id], A100)
+        assert lstm[0].flops > 3 * rnn[0].flops
+
+
+class TestDeviceDependence:
+    def test_big_tile_demoted_on_small_smem_device(self):
+        # The 33 KB tile cannot double-buffer on Turing's 64 KB SM.
+        b = GraphBuilder("g")
+        x = b.input((512, 512))
+        ref = b.linear(x, 512)
+        node = b.graph.nodes[ref.node_id]
+        on_a100 = lower_node(node, A100)[0]
+        on_turing = lower_node(node, RTX2080TI)[0]
+        assert on_a100.smem_per_block > on_turing.smem_per_block
+
+    def test_launch_configs_valid_on_all_devices(self):
+        from repro.gpu import achieved_occupancy
+        b = GraphBuilder("g")
+        x = b.input((64, 3, 64, 64))
+        y = b.conv2d(x, 32, 3, padding=1)
+        y = b.relu(y)
+        y = b.global_avgpool(y)
+        y = b.flatten(y)
+        y = b.linear(y, 100)
+        for dev in (A100, RTX2080TI, P40):
+            for nid in b.graph.topological_order():
+                for kern in lower_node(b.graph.nodes[nid], dev):
+                    ach, _ = achieved_occupancy(
+                        dev, kern.grid_blocks, kern.threads_per_block,
+                        kern.regs_per_thread, kern.smem_per_block)
+                    assert 0.0 < ach <= 1.0

@@ -1,0 +1,115 @@
+"""Occupancy calculator tests, including hand-worked NVIDIA-style examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (A100, P40, RTX2080TI, achieved_occupancy,
+                       theoretical_occupancy)
+
+
+class TestTheoreticalOccupancy:
+    def test_full_occupancy_small_kernel(self):
+        # 256 threads, 32 regs, no smem on A100: warps limit 64/8 = 8 blocks,
+        # regs: 32*32=1024/warp -> 8192/block -> 8 blocks, so 64 warps: 100%.
+        res = theoretical_occupancy(A100, 256, 32, 0)
+        assert res.occupancy == 1.0
+
+    def test_register_limited(self):
+        # 256 threads @ 80 regs: 80*32=2560/warp, 20480/block ->
+        # floor(65536/20480) = 3 blocks -> 24 warps / 64 = 37.5%.
+        res = theoretical_occupancy(A100, 256, 80, 0)
+        assert res.limiter == "registers"
+        assert res.active_blocks_per_sm == 3
+        np.testing.assert_allclose(res.occupancy, 24 / 64)
+
+    def test_register_allocation_granularity(self):
+        # 33 regs/thread rounds 1056 up to 1280 per warp.
+        res33 = theoretical_occupancy(A100, 256, 33, 0)
+        res40 = theoretical_occupancy(A100, 256, 40, 0)
+        assert res33.active_blocks_per_sm == res40.active_blocks_per_sm
+
+    def test_shared_memory_limited(self):
+        # 33 KB/block on A100's 164 KB SM -> 4 blocks.
+        res = theoretical_occupancy(A100, 128, 16, 33 * 1024)
+        assert res.limiter == "shared_mem"
+        assert res.active_blocks_per_sm == 4
+
+    def test_block_slot_limited(self):
+        # Tiny 32-thread blocks with no other pressure: A100 caps at 32
+        # blocks -> 32 warps / 64 = 50%.
+        res = theoretical_occupancy(A100, 32, 8, 0)
+        assert res.limiter in ("blocks", "warps")
+        assert res.active_blocks_per_sm == 32
+        np.testing.assert_allclose(res.occupancy, 0.5)
+
+    def test_turing_has_smaller_warp_budget(self):
+        # Same launch config occupies Turing (max 32 warps) twice as much.
+        a = theoretical_occupancy(A100, 256, 80, 0)
+        t = theoretical_occupancy(RTX2080TI, 256, 80, 0)
+        assert t.occupancy > a.occupancy
+
+    def test_invalid_threads_raises(self):
+        with pytest.raises(ValueError):
+            theoretical_occupancy(A100, 0, 32, 0)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(A100, 2048, 32, 0)
+
+    def test_kernel_exceeding_register_file_raises(self):
+        with pytest.raises(ValueError):
+            theoretical_occupancy(A100, 1024, 255, 0)
+
+    def test_kernel_exceeding_shared_mem_raises(self):
+        with pytest.raises(ValueError):
+            theoretical_occupancy(A100, 128, 16, 200 * 1024)
+
+    @given(st.sampled_from([32, 64, 128, 256, 512, 1024]),
+           st.integers(8, 64), st.sampled_from([0, 1024, 8192, 16384]))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_in_unit_interval(self, threads, regs, smem):
+        for dev in (A100, RTX2080TI, P40):
+            res = theoretical_occupancy(dev, threads, regs, smem)
+            assert 0.0 < res.occupancy <= 1.0
+            assert res.active_warps_per_sm <= dev.max_warps_per_sm
+
+
+class TestAchievedOccupancy:
+    def test_never_exceeds_theoretical(self):
+        for grid in (1, 10, 100, 1000, 100000):
+            ach, theo = achieved_occupancy(A100, grid, 256, 32, 0)
+            assert ach <= theo.occupancy + 1e-12
+
+    def test_monotone_in_grid_until_saturation(self):
+        values = [achieved_occupancy(A100, g, 256, 32, 0)[0]
+                  for g in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+    def test_tiny_grid_has_tiny_occupancy(self):
+        ach, _ = achieved_occupancy(A100, 1, 256, 32, 0)
+        # One 8-warp block on a 108-SM device barely registers.
+        assert ach < 0.01
+
+    def test_large_grid_approaches_theoretical(self):
+        ach, theo = achieved_occupancy(A100, 10**6, 256, 32, 0)
+        assert ach > 0.9 * theo.occupancy
+
+    def test_partial_wave_tail_penalty(self):
+        # Exactly one wave beats one wave + one straggler block per SM.
+        _, theo = achieved_occupancy(A100, 1, 256, 32, 0)
+        wave = theo.active_blocks_per_sm * A100.sm_count
+        full, _ = achieved_occupancy(A100, wave, 256, 32, 0)
+        ragged, _ = achieved_occupancy(A100, wave + 1, 256, 32, 0)
+        assert ragged < full
+
+    def test_zero_grid_raises(self):
+        with pytest.raises(ValueError):
+            achieved_occupancy(A100, 0, 256, 32, 0)
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_achieved_in_unit_interval(self, grid):
+        ach, _ = achieved_occupancy(P40, grid, 128, 40, 4096)
+        assert 0.0 < ach <= 1.0

@@ -1,0 +1,181 @@
+"""Profiler tests: aggregation, NVML simulation, OOM, memory estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import (A100, P40, RTX2080TI, DeviceSpec, OutOfMemoryError,
+                       estimate_memory_bytes, get_device, profile_graph)
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def resnet18_profile():
+    g = build_model("resnet-18", ModelConfig(batch_size=32))
+    return profile_graph(g, A100)
+
+
+class TestDeviceRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_device("a100") is A100
+        assert get_device("rtx2080ti") is RTX2080TI
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_derived_properties(self):
+        assert A100.max_threads_per_sm == 2048
+        assert A100.peak_flops == pytest.approx(19.5e12)
+        assert P40.mem_capacity_bytes == int(22.5 * 2**30)
+
+
+class TestProfileResult:
+    def test_records_nonempty(self, resnet18_profile):
+        assert resnet18_profile.num_kernels > 0
+        assert len(resnet18_profile.records) > 0
+
+    def test_occupancy_in_unit_interval(self, resnet18_profile):
+        assert 0.0 < resnet18_profile.occupancy < 1.0
+        for rec in resnet18_profile.records:
+            assert 0.0 < rec.occupancy <= 1.0
+            assert rec.occupancy <= rec.theoretical_occupancy + 1e-12
+
+    def test_nvml_in_unit_interval(self, resnet18_profile):
+        assert 0.0 < resnet18_profile.nvml_utilization <= 1.0
+
+    def test_nvml_exceeds_occupancy_for_dl_models(self, resnet18_profile):
+        # The Fig. 2 phenomenon: NVML is a loose upper bound.
+        assert resnet18_profile.nvml_utilization > resnet18_profile.occupancy
+
+    def test_wall_time_exceeds_busy_time(self, resnet18_profile):
+        assert resnet18_profile.wall_time_s > resnet18_profile.busy_time_s > 0
+
+    def test_durations_positive(self, resnet18_profile):
+        assert all(r.duration_s > 0 for r in resnet18_profile.records)
+
+    def test_aggregations(self, resnet18_profile):
+        p = resnet18_profile
+        lo = p.aggregate_occupancy("min")
+        mid = p.aggregate_occupancy("mean")
+        hi = p.aggregate_occupancy("max")
+        assert lo <= mid <= hi
+        assert p.aggregate_occupancy("unweighted_mean") <= hi
+
+    def test_unknown_aggregation_raises(self, resnet18_profile):
+        with pytest.raises(ValueError):
+            resnet18_profile.aggregate_occupancy("median")
+
+    def test_weighted_mean_definition(self, resnet18_profile):
+        recs = resnet18_profile.records
+        w = np.array([r.duration_s for r in recs])
+        o = np.array([r.occupancy for r in recs])
+        np.testing.assert_allclose(resnet18_profile.occupancy,
+                                   float((w * o).sum() / w.sum()))
+
+
+class TestBatchSizeEffects:
+    def test_occupancy_rises_with_batch(self):
+        occ = []
+        for bs in (4, 32, 128):
+            g = build_model("resnet-50", ModelConfig(batch_size=bs))
+            occ.append(profile_graph(g, A100, check_memory=False).occupancy)
+        assert occ[0] < occ[1] < occ[2]
+
+    def test_nvml_saturates_before_occupancy(self):
+        g = build_model("resnet-50", ModelConfig(batch_size=128))
+        p = profile_graph(g, A100, check_memory=False)
+        assert p.nvml_utilization > 0.9
+        assert p.occupancy < 0.6
+
+
+class TestDeviceEffects:
+    def test_same_graph_differs_across_devices(self):
+        g = build_model("vgg-11", ModelConfig(batch_size=32))
+        occ = {d.name: profile_graph(g, d, check_memory=False).occupancy
+               for d in (A100, RTX2080TI, P40)}
+        assert len(set(round(v, 6) for v in occ.values())) == 3
+
+    def test_slower_device_longer_wall_time(self):
+        g = build_model("vgg-11", ModelConfig(batch_size=32))
+        a = profile_graph(g, A100, check_memory=False).wall_time_s
+        p = profile_graph(g, P40, check_memory=False).wall_time_s
+        assert p > a
+
+
+class TestMemory:
+    def test_estimate_monotone_in_batch(self):
+        small = estimate_memory_bytes(
+            build_model("vgg-16", ModelConfig(batch_size=16)))
+        big = estimate_memory_bytes(
+            build_model("vgg-16", ModelConfig(batch_size=128)))
+        assert big > small
+
+    def test_oom_raised_on_small_device(self):
+        tiny = DeviceSpec(
+            name="TinyGPU", arch="Test", sm_count=4, max_warps_per_sm=32,
+            max_blocks_per_sm=16, registers_per_sm=65536,
+            register_alloc_unit=256, shared_mem_per_sm=64 * 1024,
+            shared_mem_alloc_unit=128, fp32_tflops=1.0,
+            mem_bandwidth_gbs=100.0, mem_capacity_gb=1.0)
+        g = build_model("vgg-16", ModelConfig(batch_size=128))
+        with pytest.raises(OutOfMemoryError):
+            profile_graph(g, tiny)
+
+    def test_check_memory_flag_skips_oom(self):
+        tiny = DeviceSpec(
+            name="TinyGPU", arch="Test", sm_count=4, max_warps_per_sm=32,
+            max_blocks_per_sm=16, registers_per_sm=65536,
+            register_alloc_unit=256, shared_mem_per_sm=64 * 1024,
+            shared_mem_alloc_unit=128, fp32_tflops=1.0,
+            mem_bandwidth_gbs=100.0, mem_capacity_gb=1.0)
+        g = build_model("vgg-16", ModelConfig(batch_size=128))
+        assert profile_graph(g, tiny, check_memory=False).occupancy > 0
+
+
+class TestPerNodeOccupancy:
+    def test_durations_sum_to_busy_time(self, resnet18_profile):
+        per_node = resnet18_profile.per_node_occupancy()
+        total = sum(v["duration_s"] for v in per_node.values())
+        assert total == pytest.approx(resnet18_profile.busy_time_s)
+
+    def test_weighted_recombination_matches_label(self, resnet18_profile):
+        per_node = resnet18_profile.per_node_occupancy()
+        dur = np.array([v["duration_s"] for v in per_node.values()])
+        occ = np.array([v["occupancy"] for v in per_node.values()])
+        np.testing.assert_allclose(float((dur * occ).sum() / dur.sum()),
+                                   resnet18_profile.occupancy)
+
+    def test_view_nodes_absent(self, resnet18_profile):
+        # The input node (id 0) launches no kernels.
+        assert 0 not in resnet18_profile.per_node_occupancy()
+
+
+class TestPerKernelBreakdown:
+    def test_shares_sum_to_one(self, resnet18_profile):
+        shares = [v["duration_share"] for v in
+                  resnet18_profile.per_kernel_breakdown().values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_sorted_by_share(self, resnet18_profile):
+        shares = [v["duration_share"] for v in
+                  resnet18_profile.per_kernel_breakdown().values()]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_occupancies_valid(self, resnet18_profile):
+        for v in resnet18_profile.per_kernel_breakdown().values():
+            assert 0.0 < v["occupancy"] <= 1.0
+            assert v["launches"] >= 1
+
+    def test_gemm_family_dominates_resnet(self, resnet18_profile):
+        top = next(iter(resnet18_profile.per_kernel_breakdown()))
+        assert "conv" in top or "gemm" in top
+
+
+class TestDeterminism:
+    def test_profile_is_deterministic(self):
+        g = build_model("alexnet", ModelConfig(batch_size=24))
+        a = profile_graph(g, A100).occupancy
+        b = profile_graph(g, A100).occupancy
+        assert a == b

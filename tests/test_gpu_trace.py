@@ -1,0 +1,107 @@
+"""Tests for profiler tooling (Chrome traces, ncu-style reports) and
+dataset persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, load_dataset, save_dataset
+from repro.gpu import A100, occupancy_report, profile_graph, to_chrome_trace
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_graph(build_model("alexnet", ModelConfig(batch_size=16)),
+                         A100)
+
+
+class TestChromeTrace:
+    def test_valid_json(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        assert trace["traceEvents"]
+        assert trace["otherData"]["device"] == "A100"
+
+    def test_one_event_pair_per_launch(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        kernels = [e for e in trace["traceEvents"] if e["tid"] == 1]
+        dispatches = [e for e in trace["traceEvents"] if e["tid"] == 0]
+        assert len(kernels) == profile.num_kernels
+        assert len(dispatches) == profile.num_kernels
+
+    def test_events_are_ordered_and_nonoverlapping(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        events = sorted(trace["traceEvents"], key=lambda e: e["ts"])
+        end = 0.0
+        for e in events:
+            assert e["ts"] >= end - 1e-6
+            end = e["ts"] + e["dur"]
+
+    def test_total_duration_matches_wall_time(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        events = trace["traceEvents"]
+        total = max(e["ts"] + e["dur"] for e in events)
+        assert total == pytest.approx(profile.wall_time_s * 1e6, rel=1e-6)
+
+    def test_kernel_events_carry_occupancy(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        for e in trace["traceEvents"]:
+            if e["tid"] == 1:
+                assert 0.0 < e["args"]["occupancy"] <= 1.0
+                assert e["args"]["limiter"]
+
+
+class TestOccupancyReport:
+    def test_contains_header_and_rows(self, profile):
+        text = occupancy_report(profile)
+        assert "duration-weighted achieved occupancy" in text
+        assert "limiter" in text
+        # One row per record + 3 header lines.
+        assert len(text.splitlines()) == len(profile.records) + 3
+
+    def test_top_limits_rows(self, profile):
+        text = occupancy_report(profile, top=2)
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_rows_sorted_by_duration(self, profile):
+        rows = occupancy_report(profile).splitlines()[3:]
+        durations = [float(r.split()[2]) for r in rows]
+        assert durations == sorted(durations, reverse=True)
+
+
+class TestDatasetPersistence:
+    def test_roundtrip(self, tmp_path):
+        ds = generate_dataset(["lenet"], [A100], 3, seed=5)
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        back = load_dataset(path)
+        assert len(back) == len(ds)
+        np.testing.assert_array_equal(back.labels(), ds.labels())
+        for a, b in zip(ds, back):
+            np.testing.assert_array_equal(a.features.node_features,
+                                          b.features.node_features)
+            np.testing.assert_array_equal(a.features.edge_index,
+                                          b.features.edge_index)
+            assert a.model_name == b.model_name
+            assert a.config.batch_size == b.config.batch_size
+
+    def test_loaded_dataset_trains(self, tmp_path):
+        from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+        ds = generate_dataset(["lenet"], [A100], 3, seed=5)
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        back = load_dataset(path)
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        hist = Trainer(model, TrainConfig(epochs=2, lr=1e-3)).fit(back)
+        assert len(hist.train_loss) == 2
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json as _json
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, meta_json=np.array(_json.dumps(
+            {"version": 99, "num_samples": 0, "samples": []})))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,105 @@
+"""Training-iteration profiling tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.gpu import (A100, P40, OutOfMemoryError, lower_backward,
+                       profile_graph, profile_training_graph)
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def pair():
+    g = build_model("resnet-18", ModelConfig(batch_size=32))
+    return (profile_graph(g, A100),
+            profile_training_graph(g, A100))
+
+
+class TestLowerBackward:
+    def _node(self, fn):
+        b = GraphBuilder("g")
+        x = b.input((8, 16, 16, 16))
+        ref = fn(b, x)
+        return b.graph.nodes[ref.node_id]
+
+    def test_input_has_no_backward(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 3, 8, 8))
+        assert lower_backward(b.graph.nodes[x.node_id], A100) == []
+
+    def test_conv_gets_dgrad_and_wgrad(self):
+        node = self._node(lambda b, x: b.conv2d(x, 8, 3, padding=1))
+        names = [k.name for k in lower_backward(node, A100)]
+        assert any("dgrad" in n for n in names)
+        assert any("wgrad" in n for n in names)
+
+    def test_relu_gets_single_backward(self):
+        node = self._node(lambda b, x: b.relu(x))
+        kernels = lower_backward(node, A100)
+        assert len(kernels) == 1
+        assert "dgrad" in kernels[0].name
+
+    def test_embedding_backward_is_atomics(self):
+        b = GraphBuilder("g")
+        x = b.input((4, 10))
+        ref = b.embedding(x, 100, 8)
+        kernels = lower_backward(b.graph.nodes[ref.node_id], A100)
+        assert "atomics" in kernels[0].name
+
+    def test_reshape_free_in_backward(self):
+        node = self._node(lambda b, x: b.reshape(x, (8, 16 * 16 * 16)))
+        assert lower_backward(node, A100) == []
+
+
+class TestTrainingProfile:
+    def test_training_costs_more_than_inference(self, pair):
+        inf, tr = pair
+        assert tr.busy_time_s > 2 * inf.busy_time_s
+        assert tr.num_kernels > 2 * inf.num_kernels
+
+    def test_training_flops_roughly_triple(self, pair):
+        inf, tr = pair
+        f_inf = sum(r.flops for r in inf.records)
+        f_tr = sum(r.flops for r in tr.records)
+        assert 2.0 < f_tr / f_inf < 4.0
+
+    def test_occupancy_valid(self, pair):
+        _, tr = pair
+        assert 0.0 < tr.occupancy < 1.0
+        assert all(0.0 < r.occupancy <= 1.0 for r in tr.records)
+
+    def test_optimizer_kernel_present(self, pair):
+        _, tr = pair
+        assert any(r.name == "fused_optimizer_step" for r in tr.records)
+
+    def test_name_suffix(self, pair):
+        _, tr = pair
+        assert tr.model_name.endswith("_train")
+
+    def test_training_oom_stricter_than_inference(self):
+        # A config that fits for inference can OOM for training (2x set).
+        g = build_model("vgg-16", ModelConfig(batch_size=160))
+        profile_graph(g, P40)  # inference fits
+        with pytest.raises(OutOfMemoryError):
+            profile_training_graph(g, P40)
+
+    def test_deterministic(self):
+        g = build_model("lenet", ModelConfig(batch_size=16))
+        a = profile_training_graph(g, A100).occupancy
+        b = profile_training_graph(g, A100).occupancy
+        assert a == b
+
+    def test_trainable_as_labels(self):
+        """Training occupancy works as a regression label end to end."""
+        from repro.core import DNNOccu, DNNOccuConfig
+        from repro.features import encode_graph
+        from repro.graph import add_backward_edges
+        g = build_model("lenet", ModelConfig(batch_size=16))
+        label = profile_training_graph(g, A100).occupancy
+        feats = encode_graph(add_backward_edges(g), A100)
+        model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        pred = model.predict(feats)
+        assert 0.0 < label < 1.0 and 0.0 < pred < 1.0

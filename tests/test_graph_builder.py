@@ -1,0 +1,211 @@
+"""Builder tests: shape inference, FLOPs formulas, error handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, OP_TYPES, op_flops, op_type_index
+
+
+@pytest.fixture()
+def b():
+    return GraphBuilder("test")
+
+
+class TestConv2d:
+    def test_output_shape_basic(self, b):
+        x = b.input((2, 3, 32, 32))
+        y = b.conv2d(x, 8, 3, stride=1, padding=1)
+        assert y.shape == (2, 8, 32, 32)
+
+    def test_output_shape_strided(self, b):
+        x = b.input((1, 3, 224, 224))
+        y = b.conv2d(x, 64, 7, stride=2, padding=3)
+        assert y.shape == (1, 64, 112, 112)
+
+    def test_paper_flops_formula(self, b):
+        # FLOPs(Conv2d) = 2 * K * C * R * S * N * P * Q  (Section III-C)
+        n, c, h, w, k, r = 4, 3, 16, 16, 8, 3
+        x = b.input((n, c, h, w))
+        y = b.conv2d(x, k, r, padding=1)
+        node = b.graph.nodes[y.node_id]
+        p = q = 16
+        assert node.flops == 2 * k * c * r * r * n * p * q
+
+    def test_grouped_conv_flops_divided(self, b):
+        x = b.input((1, 8, 8, 8))
+        y_full = b.conv2d(x, 8, 3, padding=1, groups=1)
+        x2 = b.input((1, 8, 8, 8))
+        y_grp = b.conv2d(x2, 8, 3, padding=1, groups=8)
+        assert b.graph.nodes[y_grp.node_id].flops * 8 == \
+            b.graph.nodes[y_full.node_id].flops
+
+    def test_depthwise_detected(self, b):
+        x = b.input((1, 8, 8, 8))
+        y = b.conv2d(x, 8, 3, padding=1, groups=8)
+        assert b.graph.nodes[y.node_id].op_type == "DepthwiseConv2d"
+
+    def test_invalid_groups_raises(self, b):
+        x = b.input((1, 6, 8, 8))
+        with pytest.raises(ValueError):
+            b.conv2d(x, 8, 3, groups=4)
+
+    def test_too_large_kernel_raises(self, b):
+        x = b.input((1, 3, 4, 4))
+        with pytest.raises(ValueError):
+            b.conv2d(x, 8, 9)
+
+    def test_workspace_positive(self, b):
+        x = b.input((1, 3, 16, 16))
+        y = b.conv2d(x, 4, 3, padding=1)
+        assert b.graph.nodes[y.node_id].temp_bytes > 0
+
+
+class TestPooling:
+    def test_maxpool_shape(self, b):
+        x = b.input((1, 4, 16, 16))
+        assert b.maxpool2d(x, 2, 2).shape == (1, 4, 8, 8)
+
+    def test_pool_default_stride_is_kernel(self, b):
+        x = b.input((1, 4, 16, 16))
+        assert b.avgpool2d(x, 4).shape == (1, 4, 4, 4)
+
+    def test_global_avgpool(self, b):
+        x = b.input((2, 8, 7, 7))
+        assert b.global_avgpool(x).shape == (2, 8, 1, 1)
+
+    def test_adaptive(self, b):
+        x = b.input((2, 8, 14, 14))
+        assert b.adaptive_avgpool(x, 6).shape == (2, 8, 6, 6)
+
+
+class TestLinearAndMatmul:
+    def test_linear_shape(self, b):
+        x = b.input((4, 10))
+        assert b.linear(x, 3).shape == (4, 3)
+
+    def test_linear_flops_gemm(self, b):
+        x = b.input((4, 10))
+        y = b.linear(x, 3)
+        assert b.graph.nodes[y.node_id].flops == 2 * 4 * 10 * 3
+
+    def test_linear_keeps_leading_dims(self, b):
+        x = b.input((2, 5, 10))
+        assert b.linear(x, 3).shape == (2, 5, 3)
+
+    def test_matmul_shape(self, b):
+        a = b.input((2, 3, 4))
+        c = b.input((2, 4, 5))
+        assert b.matmul(a, c).shape == (2, 3, 5)
+
+    def test_matmul_mismatch_raises(self, b):
+        a = b.input((2, 3, 4))
+        c = b.input((2, 3, 5))
+        with pytest.raises(ValueError):
+            b.matmul(a, c)
+
+    def test_matmul_flops(self, b):
+        a = b.input((2, 3, 4))
+        c = b.input((2, 4, 5))
+        y = b.matmul(a, c)
+        assert b.graph.nodes[y.node_id].flops == 2 * 2 * 3 * 5 * 4
+
+
+class TestShapeOps:
+    def test_flatten(self, b):
+        x = b.input((2, 3, 4, 5))
+        assert b.flatten(x).shape == (2, 60)
+
+    def test_reshape_checks_numel(self, b):
+        x = b.input((2, 6))
+        assert b.reshape(x, (3, 4)).shape == (3, 4)
+        with pytest.raises(ValueError):
+            b.reshape(x, (5, 5))
+
+    def test_transpose(self, b):
+        x = b.input((2, 3, 4))
+        assert b.transpose(x, (2, 0, 1)).shape == (4, 2, 3)
+
+    def test_concat(self, b):
+        xs = [b.input((2, 3)), b.input((2, 5))]
+        assert b.concat(xs, axis=1).shape == (2, 8)
+
+    def test_concat_mismatch_raises(self, b):
+        xs = [b.input((2, 3)), b.input((4, 5))]
+        with pytest.raises(ValueError):
+            b.concat(xs, axis=1)
+
+    def test_add_requires_same_shape(self, b):
+        with pytest.raises(ValueError):
+            b.add(b.input((2, 3)), b.input((2, 4)))
+
+    def test_reduce_mean(self, b):
+        x = b.input((2, 7, 3))
+        assert b.reduce_mean(x, axis=1).shape == (2, 3)
+
+
+class TestSequenceOps:
+    def test_embedding(self, b):
+        x = b.input((4, 10))
+        assert b.embedding(x, 1000, 16).shape == (4, 10, 16)
+
+    def test_lstm_shape_and_flops(self, b):
+        x = b.input((4, 10, 8))
+        emb = b.embedding(x, 10, 8) if False else x
+        y = b.lstm(x, 16, num_layers=2)
+        assert y.shape == (4, 10, 16)
+        assert b.graph.nodes[y.node_id].flops > 0
+
+    def test_rnn_cheaper_than_lstm(self, b):
+        x1 = b.input((4, 10, 8))
+        lstm = b.lstm(x1, 16)
+        x2 = b.input((4, 10, 8))
+        rnn = b.rnn(x2, 16)
+        assert b.graph.nodes[rnn.node_id].flops < \
+            b.graph.nodes[lstm.node_id].flops
+
+
+class TestEdgesAndFinish:
+    def test_edges_carry_source_shapes(self, b):
+        x = b.input((1, 3, 8, 8))
+        b.conv2d(x, 4, 3, padding=1)
+        edge = b.graph.edges[0]
+        assert edge.tensor_shape == (1, 3, 8, 8)
+        assert edge.edge_type == "forward"
+
+    def test_finish_validates(self, b):
+        x = b.input((1, 3, 8, 8))
+        b.relu(x)
+        g = b.finish()
+        assert g.num_nodes == 2
+
+    def test_two_input_op_has_two_edges(self, b):
+        a = b.input((2, 3))
+        c = b.input((2, 3))
+        b.add(a, c)
+        assert b.graph.num_edges == 2
+
+
+class TestFlopsRegistry:
+    def test_every_op_type_has_index(self):
+        for op in OP_TYPES:
+            assert OP_TYPES[op_type_index(op)] == op
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            op_flops("FancyNewOp", {}, [], (1,))
+
+    def test_elementwise_scales_with_numel(self):
+        small = op_flops("ReLU", {}, [(10,)], (10,))
+        big = op_flops("ReLU", {}, [(1000,)], (1000,))
+        assert big == 100 * small
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_gemm_flops_bilinear(self, m, n):
+        f = op_flops("Gemm", {"in_features": 8, "out_features": n},
+                     [(m, 8)], (m, n))
+        assert f == 2 * m * n * 8

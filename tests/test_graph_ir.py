@@ -1,0 +1,163 @@
+"""Computation-graph IR tests: nodes, edges, validation, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (ComputationGraph, DataEdge, GraphValidationError,
+                         OpNode, tensor_bytes, tensor_numel)
+
+
+def chain_graph(n: int) -> ComputationGraph:
+    g = ComputationGraph("chain")
+    for i in range(n):
+        g.add_node(OpNode(node_id=i, op_type="ReLU",
+                          output_shape=(2, 3), flops=6))
+    for i in range(n - 1):
+        g.add_edge(DataEdge(src=i, dst=i + 1, tensor_shape=(2, 3)))
+    return g
+
+
+class TestTensorHelpers:
+    def test_numel(self):
+        assert tensor_numel((2, 3, 4)) == 24
+        assert tensor_numel(()) == 1
+
+    def test_bytes_fp32(self):
+        assert tensor_bytes((10,)) == 40
+
+
+class TestGraphConstruction:
+    def test_counts(self):
+        g = chain_graph(5)
+        assert g.num_nodes == 5 and g.num_edges == 4
+
+    def test_duplicate_node_rejected(self):
+        g = chain_graph(2)
+        with pytest.raises(GraphValidationError):
+            g.add_node(OpNode(node_id=0, op_type="ReLU"))
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = chain_graph(2)
+        with pytest.raises(GraphValidationError):
+            g.add_edge(DataEdge(src=0, dst=99))
+
+    def test_self_loop_rejected(self):
+        g = chain_graph(2)
+        with pytest.raises(GraphValidationError):
+            g.add_edge(DataEdge(src=1, dst=1))
+
+    def test_adjacency(self):
+        g = chain_graph(3)
+        assert g.successors(0) == [1]
+        assert g.predecessors(2) == [1]
+        assert g.in_edges(1)[0].src == 0
+        assert g.out_edges(1)[0].dst == 2
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        assert chain_graph(4).topological_order() == [0, 1, 2, 3]
+
+    def test_cycle_detected(self):
+        g = chain_graph(3)
+        g.add_edge(DataEdge(src=2, dst=0, tensor_shape=(2, 3)))
+        with pytest.raises(GraphValidationError, match="cycle"):
+            g.topological_order()
+
+    def test_diamond_respects_dependencies(self):
+        g = ComputationGraph("diamond")
+        for i in range(4):
+            g.add_node(OpNode(node_id=i, op_type="Add", output_shape=(1,)))
+        for s, d in ((0, 1), (0, 2), (1, 3), (2, 3)):
+            g.add_edge(DataEdge(src=s, dst=d, tensor_shape=(1,)))
+        order = g.topological_order()
+        pos = {nid: i for i, nid in enumerate(order)}
+        assert pos[0] < pos[1] < pos[3] and pos[0] < pos[2] < pos[3]
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_order_is_permutation(self, n):
+        order = chain_graph(n).topological_order()
+        assert sorted(order) == list(range(n))
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        chain_graph(3).validate()
+
+    def test_edge_shape_mismatch_caught(self):
+        g = chain_graph(2)
+        g.edges[0].tensor_shape = (9, 9)
+        with pytest.raises(GraphValidationError, match="carries"):
+            g.validate()
+
+    def test_negative_cost_caught(self):
+        g = chain_graph(2)
+        g.nodes[0].flops = -1
+        with pytest.raises(GraphValidationError, match="negative"):
+            g.validate()
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        g = chain_graph(4)
+        g2 = ComputationGraph.from_json(g.to_json())
+        assert g2.num_nodes == 4 and g2.num_edges == 3
+        assert g2.topological_order() == g.topological_order()
+        assert g2.nodes[0].op_type == "ReLU"
+
+    def test_node_dict_roundtrip(self):
+        node = OpNode(node_id=3, op_type="Conv2d",
+                      attrs={"kernel_size": (3, 3)},
+                      input_shapes=[(1, 3, 8, 8)],
+                      output_shape=(1, 4, 8, 8), flops=100, temp_bytes=50)
+        back = OpNode.from_dict(node.to_dict())
+        assert back.attrs["kernel_size"] == (3, 3) or \
+            tuple(back.attrs["kernel_size"]) == (3, 3)
+        assert back.input_shapes == [(1, 3, 8, 8)]
+
+    def test_edge_dict_roundtrip(self):
+        e = DataEdge(src=1, dst=2, tensor_shape=(5, 5),
+                     edge_type="backward")
+        back = DataEdge.from_dict(e.to_dict())
+        assert back.edge_type == "backward"
+        assert back.tensor_bytes == 100
+
+
+class TestComposition:
+    def test_disjoint_union_counts(self):
+        a, b = chain_graph(3), chain_graph(4)
+        merged = a.disjoint_union(b)
+        assert merged.num_nodes == 7 and merged.num_edges == 5
+        merged.validate()
+
+    def test_disjoint_union_does_not_mutate_inputs(self):
+        a, b = chain_graph(2), chain_graph(2)
+        a.disjoint_union(b)
+        assert a.num_nodes == 2 and b.num_nodes == 2
+
+    def test_union_renumbers_second_graph(self):
+        a, b = chain_graph(2), chain_graph(2)
+        merged = a.disjoint_union(b)
+        assert set(merged.nodes) == {0, 1, 2, 3}
+
+    def test_to_networkx(self):
+        nxg = chain_graph(3).to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 2
+        assert nxg.nodes[0]["op_type"] == "ReLU"
+
+
+class TestStats:
+    def test_total_flops(self):
+        assert chain_graph(5).total_flops() == 30
+
+    def test_op_histogram(self):
+        g = chain_graph(3)
+        g.add_node(OpNode(node_id=99, op_type="Conv2d"))
+        hist = g.op_type_histogram()
+        assert hist == {"ReLU": 3, "Conv2d": 1}

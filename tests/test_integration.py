@@ -1,0 +1,71 @@
+"""End-to-end integration tests across the full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DNNPerfPredictor
+from repro.core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
+from repro.data import generate_dataset
+from repro.gpu import A100, P40
+from repro.sched import (OccuPacking, SlotPacking, generate_workload,
+                         simulate)
+
+
+@pytest.fixture(scope="module")
+def trained_trainer(tiny_dataset):
+    model = DNNOccu(DNNOccuConfig(hidden=24, num_heads=2), seed=0)
+    trainer = Trainer(model, TrainConfig(epochs=25, lr=1e-3, batch_size=4))
+    trainer.fit(tiny_dataset)
+    return trainer
+
+
+class TestTrainPredictPipeline:
+    def test_fit_accuracy_on_seen_configs(self, trained_trainer,
+                                          tiny_dataset):
+        ev = trained_trainer.evaluate(tiny_dataset)
+        assert ev["mre_percent"] < 40.0
+
+    def test_generalizes_to_new_configs_of_seen_models(self,
+                                                       trained_trainer):
+        held_out = generate_dataset(["lenet", "alexnet"], [A100],
+                                    configs_per_model=3, seed=99)
+        ev = trained_trainer.evaluate(held_out)
+        # New configurations of the same architectures stay predictable.
+        assert ev["mre_percent"] < 60.0
+
+    def test_beats_untrained_model(self, trained_trainer, tiny_dataset):
+        fresh = Trainer(DNNOccu(DNNOccuConfig(hidden=24, num_heads=2),
+                                seed=5))
+        assert trained_trainer.evaluate(tiny_dataset)["mse"] < \
+            fresh.evaluate(tiny_dataset)["mse"]
+
+
+class TestPredictorGuidedScheduling:
+    def test_dnn_occu_drives_occu_packing(self, trained_trainer):
+        predictor = trained_trainer.model.predict
+        jobs = generate_workload(["lenet", "alexnet"], A100, num_jobs=8,
+                                 seed=4, predictor=predictor)
+        assert all(j.predicted_occupancy is not None for j in jobs)
+        slot = simulate(jobs, 2, SlotPacking())
+        occu = simulate(jobs, 2, OccuPacking())
+        assert occu.makespan_s <= slot.makespan_s + 1e-9
+
+    def test_prediction_error_bounded_on_workload(self, trained_trainer):
+        predictor = trained_trainer.model.predict
+        jobs = generate_workload(["lenet", "alexnet"], A100, num_jobs=6,
+                                 seed=8, predictor=predictor)
+        err = np.array([abs(j.predicted_occupancy - j.occupancy)
+                        for j in jobs])
+        assert err.mean() < 0.25
+
+
+class TestCrossDeviceLabels:
+    def test_same_model_different_devices_different_labels(self):
+        ds = generate_dataset(["vgg-11"], [A100, P40], configs_per_model=2,
+                              seed=1)
+        by_dev = {}
+        for s in ds:
+            by_dev.setdefault(s.device_name, []).append(s.occupancy)
+        assert not np.allclose(sorted(by_dev["A100"]), sorted(by_dev["P40"]))

@@ -1,0 +1,70 @@
+"""Metric tests: MRE/MSE definitions and bucketing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import bucketize, evaluate_predictions, mre, mse
+
+
+class TestMRE:
+    def test_hand_computed(self):
+        assert mre([1.1, 0.9], [1.0, 1.0]) == pytest.approx(0.1)
+
+    def test_perfect_prediction(self):
+        assert mre([0.4, 0.6], [0.4, 0.6]) == 0.0
+
+    def test_zero_truth_raises(self):
+        with pytest.raises(ValueError):
+            mre([1.0], [0.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mre([1.0, 2.0], [1.0])
+
+    def test_asymmetry_in_truth(self):
+        # Same absolute error, smaller truth -> larger MRE.
+        assert mre([0.2], [0.1]) > mre([0.6], [0.5])
+
+
+class TestMSE:
+    def test_hand_computed(self):
+        assert mse([1.0, 3.0], [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        assert mse(rng.normal(size=10), rng.normal(size=10)) >= 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+
+
+class TestEvaluate:
+    def test_keys_and_percent_scaling(self):
+        ev = evaluate_predictions([1.1], [1.0])
+        assert ev["mre_percent"] == pytest.approx(10.0)
+        assert ev["mse"] == pytest.approx(0.01)
+
+
+class TestBucketize:
+    def test_partition(self):
+        vals = [5, 15, 25, 35, 45]
+        masks = bucketize(vals, [0, 20, 40])
+        assert [list(m) for m in masks] == [[0, 1], [2, 3], [4]]
+
+    def test_every_value_in_exactly_one_bucket(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 100, size=50)
+        masks = bucketize(vals, [0, 30, 60])
+        combined = np.concatenate(masks)
+        assert sorted(combined) == list(range(50))
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_bucketize_total_coverage(self, vals):
+        masks = bucketize(vals, [0, 100, 500])
+        assert sum(len(m) for m in masks) == len(vals)

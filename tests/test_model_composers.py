@@ -1,0 +1,128 @@
+"""Tests for the shared model-zoo composers (attention blocks, MLP blocks,
+window partitioning arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.models.common import (ModelConfig, classifier_head, conv_bn_act,
+                                 mlp_block, multi_head_attention,
+                                 transformer_encoder_block)
+
+
+@pytest.fixture()
+def b():
+    return GraphBuilder("t")
+
+
+class TestAttentionComposer:
+    def test_output_shape_preserved(self, b):
+        x = b.input((2, 10, 16))
+        y = multi_head_attention(b, x, num_heads=4)
+        assert y.shape == (2, 10, 16)
+
+    def test_invalid_heads_raises(self, b):
+        x = b.input((2, 10, 16))
+        with pytest.raises(ValueError):
+            multi_head_attention(b, x, num_heads=3)
+
+    def test_emits_expected_operator_mix(self, b):
+        x = b.input((2, 10, 16))
+        multi_head_attention(b, x, num_heads=2)
+        hist = b.graph.op_type_histogram()
+        assert hist["Gemm"] == 2        # fused QKV + output projection
+        assert hist["MatMul"] == 2      # QK^T and PV
+        assert hist["Softmax"] == 1
+        assert hist["Slice"] == 3       # Q, K, V splits
+        assert hist["Scale"] == 1       # 1/sqrt(d)
+
+    def test_score_matrix_shape(self, b):
+        bs, t, d, h = 2, 10, 16, 2
+        x = b.input((bs, t, d))
+        multi_head_attention(b, x, num_heads=h)
+        softmax_node = next(n for n in b.graph.nodes.values()
+                            if n.op_type == "Softmax")
+        assert softmax_node.output_shape == (bs * h, t, t)
+
+    def test_attention_flops_quadratic_in_seq(self, b):
+        x1 = b.input((1, 8, 16))
+        multi_head_attention(b, x1, 2)
+        f8 = b.graph.total_flops()
+        b2 = GraphBuilder("t2")
+        x2 = b2.input((1, 32, 16))
+        multi_head_attention(b2, x2, 2)
+        f32 = b2.graph.total_flops()
+        # 4x tokens: QK^T term grows 16x, projections 4x -> >4x total.
+        assert f32 > 4 * f8
+
+
+class TestEncoderBlock:
+    def test_shape_and_residuals(self, b):
+        x = b.input((2, 10, 16))
+        y = transformer_encoder_block(b, x, num_heads=2)
+        assert y.shape == (2, 10, 16)
+        hist = b.graph.op_type_histogram()
+        assert hist["Add"] == 2         # attention + FFN residuals
+        assert hist["LayerNorm"] == 2
+
+    def test_mlp_block_expansion(self, b):
+        x = b.input((2, 10, 16))
+        mlp_block(b, x, hidden_mult=4)
+        gemms = [n for n in b.graph.nodes.values() if n.op_type == "Gemm"]
+        assert {g.attrs["out_features"] for g in gemms} == {64, 16}
+
+
+class TestCNNComposers:
+    def test_conv_bn_act_chain(self, b):
+        x = b.input((2, 3, 8, 8))
+        conv_bn_act(b, x, 4, 3, padding=1)
+        hist = b.graph.op_type_histogram()
+        assert hist == {"Input": 1, "Conv2d": 1, "BatchNorm2d": 1,
+                        "ReLU": 1}
+
+    def test_conv_ln_gelu_variant(self, b):
+        x = b.input((2, 3, 8, 8))
+        conv_bn_act(b, x, 4, 3, padding=1, act="gelu", norm="ln")
+        hist = b.graph.op_type_histogram()
+        assert "LayerNorm" in hist and "GELU" in hist
+
+    def test_classifier_head_flattens(self, b):
+        x = b.input((2, 8, 4, 4))
+        y = classifier_head(b, x, 10)
+        assert y.shape == (2, 10)
+        assert "Flatten" in b.graph.op_type_histogram()
+
+    def test_classifier_head_skips_flatten_for_2d(self, b):
+        x = b.input((2, 32))
+        classifier_head(b, x, 10)
+        assert "Flatten" not in b.graph.op_type_histogram()
+
+
+class TestModelConfig:
+    def test_replace_returns_new(self):
+        a = ModelConfig(batch_size=8)
+        c = a.replace(batch_size=16)
+        assert a.batch_size == 8 and c.batch_size == 16
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ModelConfig().batch_size = 5
+
+
+class TestSwinWindowArithmetic:
+    def test_window_partition_counts(self):
+        """Swin's 224-input stage resolutions (56, 28, 14, 7) all divide
+        by the window size 7 — the builder relies on this."""
+        for hw in (56, 28, 14, 7):
+            assert hw % 7 == 0
+
+    def test_swin_attention_batch_is_windows(self):
+        from repro.models import build_swin
+        g = build_swin(ModelConfig(batch_size=2), "tiny")
+        # First-stage window attention: (B * 8 * 8 windows, 49, 49) scores.
+        softmax_nodes = [n for n in g.nodes.values()
+                         if n.op_type == "Softmax"]
+        first = min(softmax_nodes, key=lambda n: n.node_id)
+        assert first.output_shape[-2:] == (49, 49)
+        assert first.output_shape[0] % (2 * 64) == 0

@@ -1,0 +1,219 @@
+"""Model-zoo tests: every Table II architecture builds a valid graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphValidationError
+from repro.models import (MODEL_FAMILY, ModelConfig, build_model,
+                          build_resnet, build_vgg, build_vit, build_swin,
+                          build_maxvit, build_bert, build_clip,
+                          build_convnext, list_models)
+
+SMALL = ModelConfig(batch_size=8, in_channels=3, image_size=224, seq_len=64)
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_every_model_builds_and_validates(name):
+    g = build_model(name, SMALL)
+    g.validate()
+    assert g.num_nodes > 5
+    assert g.num_edges >= g.num_nodes - 2
+    assert g.total_flops() > 0
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_every_model_is_connected_dag(name):
+    import networkx as nx
+    g = build_model(name, SMALL).to_networkx()
+    assert nx.is_directed_acyclic_graph(g)
+    assert nx.is_weakly_connected(g)
+
+
+class TestRegistry:
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet-101")
+
+    def test_case_insensitive(self):
+        assert build_model("ReSNeT-18", SMALL).num_nodes == \
+            build_model("resnet-18", SMALL).num_nodes
+
+    def test_overrides(self):
+        g = build_model("lenet", SMALL, batch_size=16)
+        assert g.nodes[0].output_shape[0] == 16
+
+    def test_family_covers_registry(self):
+        assert set(MODEL_FAMILY) == set(list_models())
+        assert set(MODEL_FAMILY.values()) == {"cnn", "rnn", "transformer"}
+
+
+class TestCNNs:
+    def test_vgg_depth_ordering(self):
+        f11 = build_vgg(SMALL, 11).total_flops()
+        f13 = build_vgg(SMALL, 13).total_flops()
+        f16 = build_vgg(SMALL, 16).total_flops()
+        assert f11 < f13 < f16
+
+    def test_vgg_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_vgg(SMALL, 19)
+
+    def test_resnet_depth_ordering(self):
+        n18 = build_resnet(SMALL, 18).num_nodes
+        n34 = build_resnet(SMALL, 34).num_nodes
+        n50 = build_resnet(SMALL, 50).num_nodes
+        assert n18 < n34 < n50
+
+    def test_resnet_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_resnet(SMALL, 101)
+
+    def test_resnet_has_residual_adds(self):
+        hist = build_resnet(SMALL, 18).op_type_histogram()
+        assert hist["Add"] == 8  # two blocks per stage, four stages
+
+    def test_resnet50_uses_bottlenecks(self):
+        hist = build_resnet(SMALL, 50).op_type_histogram()
+        # 1x1-3x3-1x1 bottlenecks -> many more convs than resnet-18.
+        assert hist["Conv2d"] > 40
+
+    def test_convnext_depthwise(self):
+        hist = build_convnext(SMALL, "base").op_type_histogram()
+        assert hist["DepthwiseConv2d"] == 3 + 3 + 27 + 3
+
+    def test_flops_scale_linearly_with_batch(self):
+        f8 = build_model("vgg-11", SMALL).total_flops()
+        f16 = build_model("vgg-11", SMALL, batch_size=16).total_flops()
+        assert abs(f16 / f8 - 2.0) < 0.01
+
+    def test_input_channels_respected(self):
+        g = build_model("alexnet", SMALL, in_channels=7)
+        assert g.nodes[0].output_shape[1] == 7
+
+
+class TestRNNs:
+    def test_lstm_has_lstm_node(self):
+        hist = build_model("lstm", SMALL).op_type_histogram()
+        assert hist["LSTM"] == 1
+
+    def test_seq_len_scales_flops(self):
+        f64 = build_model("lstm", SMALL).total_flops()
+        f128 = build_model("lstm", SMALL, seq_len=128).total_flops()
+        assert f128 > 1.5 * f64
+
+
+class TestTransformers:
+    def test_vit_variants_ordering(self):
+        t = build_vit(SMALL, "tiny").total_flops()
+        s = build_vit(SMALL, "small").total_flops()
+        assert s > 2 * t
+
+    def test_vit_invalid_variant(self):
+        with pytest.raises(ValueError):
+            build_vit(SMALL, "giant")
+
+    def test_vit_patch_size_controls_tokens(self):
+        f16 = build_vit(SMALL, "base", patch_size=16).total_flops()
+        f32 = build_vit(SMALL, "base", patch_size=32).total_flops()
+        assert f16 > f32
+
+    def test_vit_has_attention_ops(self):
+        hist = build_model("vit-t", SMALL).op_type_histogram()
+        assert hist["Softmax"] == 12      # one per block
+        assert hist["MatMul"] == 24       # QK^T and PV per block
+
+    def test_swin_has_window_ops(self):
+        hist = build_swin(SMALL, "small").op_type_histogram()
+        assert hist["Shift"] > 0          # shifted-window attention
+        assert hist["Softmax"] == 2 + 2 + 18 + 2
+
+    def test_swin_invalid_variant(self):
+        with pytest.raises(ValueError):
+            build_swin(SMALL, "huge")
+
+    def test_maxvit_mixes_conv_and_attention(self):
+        hist = build_maxvit(SMALL, "tiny").op_type_histogram()
+        assert hist["DepthwiseConv2d"] > 0
+        assert hist["Softmax"] > 0
+
+    def test_bert_variants(self):
+        distil = build_bert(SMALL, "distilbert").num_nodes
+        base = build_bert(SMALL, "base").num_nodes
+        assert base > distil
+        with pytest.raises(ValueError):
+            build_bert(SMALL, "xxl")
+
+    def test_gpt2_lm_head_dominates(self):
+        g = build_model("gpt-2", SMALL)
+        lm_head = max((n for n in g.nodes.values() if n.op_type == "Gemm"),
+                      key=lambda n: n.flops)
+        assert lm_head.attrs["out_features"] == 50257
+
+    def test_seq_len_changes_transformer_flops(self):
+        f64 = build_model("bert", SMALL).total_flops()
+        f256 = build_model("bert", SMALL, seq_len=256).total_flops()
+        assert f256 > 2 * f64
+
+
+class TestCLIP:
+    def test_clip_has_two_towers(self):
+        g = build_clip(SMALL, "rn50")
+        hist = g.op_type_histogram()
+        assert hist["Embedding"] == 1     # text tower
+        assert hist["Conv2d"] > 10        # image tower
+
+    def test_clip_encoders_differ(self):
+        rn = build_clip(SMALL, "rn50").total_flops()
+        v32 = build_clip(SMALL, "vit-b/32").total_flops()
+        v16 = build_clip(SMALL, "vit-b/16").total_flops()
+        assert v16 > v32
+        assert rn != v32
+
+    def test_clip_invalid_encoder(self):
+        with pytest.raises(ValueError):
+            build_clip(SMALL, "rn101")
+
+    def test_clip_joint_logits_shape(self):
+        g = build_clip(SMALL, "vit-b/32")
+        final = g.nodes[max(g.nodes)]
+        assert final.op_type == "MatMul"
+        assert final.output_shape == (8, 8)
+
+
+class TestPaperTable2Coverage:
+    #: every variant the paper's Table II lists, by our canonical names
+    PAPER_MODELS = (
+        "convnext-b",
+        "resnet-18", "resnet-34", "resnet-50",
+        "vgg-11", "vgg-13", "vgg-16",
+        "alexnet", "lenet",
+        "lstm", "rnn",
+        "vit-s", "vit-t",
+        "swin-s",
+        "maxvit-t",
+        "bert",          # distilbert-base-uncased-finetuned-sst-2-english
+        "gpt-2",
+        "clip-rn50", "clip-vit-b/32", "clip-vit-b/16",
+    )
+
+    def test_all_20_table2_models_in_registry(self):
+        zoo = set(list_models())
+        missing = [m for m in self.PAPER_MODELS if m not in zoo]
+        assert not missing, missing
+        assert len(self.PAPER_MODELS) == 20  # the paper's count
+
+    def test_paper_family_counts(self):
+        fam = {m: MODEL_FAMILY[m] for m in self.PAPER_MODELS}
+        # Table II markers: 9 CNN, 2 RNN, 9 transformer/multimodal.
+        assert sum(v == "cnn" for v in fam.values()) == 9
+        assert sum(v == "rnn" for v in fam.values()) == 2
+        assert sum(v == "transformer" for v in fam.values()) == 9
+
+
+class TestNodeCountRange:
+    def test_zoo_spans_paper_range(self):
+        # Paper: 13 to 2664 nodes.  Our zoo spans roughly the same orders.
+        counts = [build_model(m, SMALL).num_nodes for m in list_models()]
+        assert min(counts) < 20
+        assert max(counts) > 500

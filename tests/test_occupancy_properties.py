@@ -1,0 +1,50 @@
+"""Additional property-based tests for the occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, P40, RTX2080TI, theoretical_occupancy
+
+DEVICES = (A100, RTX2080TI, P40)
+
+
+class TestMonotonicity:
+    @given(st.sampled_from(DEVICES), st.sampled_from([64, 128, 256, 512]),
+           st.integers(16, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_more_registers_never_raise_occupancy(self, dev, threads, regs):
+        lo = theoretical_occupancy(dev, threads, regs, 0)
+        hi = theoretical_occupancy(dev, threads, regs + 8, 0)
+        assert hi.occupancy <= lo.occupancy + 1e-12
+
+    @given(st.sampled_from(DEVICES), st.sampled_from([64, 128, 256]),
+           st.sampled_from([1024, 4096, 8192, 16384]))
+    @settings(max_examples=60, deadline=None)
+    def test_more_shared_mem_never_raises_occupancy(self, dev, threads,
+                                                    smem):
+        lo = theoretical_occupancy(dev, threads, 32, smem)
+        hi = theoretical_occupancy(dev, threads, 32, smem + 4096)
+        assert hi.occupancy <= lo.occupancy + 1e-12
+
+    @given(st.sampled_from(DEVICES), st.integers(8, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_warp_count_divides_budget(self, dev, regs):
+        res = theoretical_occupancy(dev, 256, regs, 0)
+        # 256-thread blocks hold 8 warps; residency is block-granular.
+        assert res.active_warps_per_sm % 8 == 0
+
+    @given(st.sampled_from(DEVICES))
+    @settings(max_examples=10, deadline=None)
+    def test_minimal_kernel_fully_occupies(self, dev):
+        res = theoretical_occupancy(dev, 256, 16, 0)
+        assert res.occupancy == 1.0
+
+    @given(st.sampled_from(DEVICES), st.sampled_from([32, 64, 128, 256]))
+    @settings(max_examples=40, deadline=None)
+    def test_limiter_is_reported_resource(self, dev, threads):
+        res = theoretical_occupancy(dev, threads, 64, 8192)
+        assert res.limiter in ("warps", "blocks", "registers",
+                               "shared_mem")

@@ -1,0 +1,55 @@
+"""Model persistence tests: .npz save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DNNOccu, DNNOccuConfig
+from repro.baselines import DNNPerfPredictor
+from repro.nn import Linear
+from repro.tensor import Module
+
+
+class TinyNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc = Linear(3, 2, rng)
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+class TestSaveLoad:
+    def test_roundtrip_identical_predictions(self, tmp_path, tiny_dataset):
+        path = str(tmp_path / "model.npz")
+        a = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=1)
+        a.save(path)
+        b = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=2)
+        s = tiny_dataset[0].features
+        assert a.predict(s) != b.predict(s)
+        b.load(path)
+        assert a.predict(s) == b.predict(s)
+
+    def test_load_into_wrong_architecture_raises(self, tmp_path, rng):
+        path = str(tmp_path / "m.npz")
+        TinyNet(rng).save(path)
+        other = DNNPerfPredictor(seed=0, hidden=8)
+        with pytest.raises(KeyError):
+            other.load(path)
+
+    def test_saved_file_contains_all_parameters(self, tmp_path, rng):
+        path = str(tmp_path / "m.npz")
+        net = TinyNet(rng)
+        net.save(path)
+        with np.load(path) as data:
+            assert set(data.files) == {"fc.weight", "fc.bias"}
+
+    def test_load_is_a_copy(self, tmp_path, rng):
+        path = str(tmp_path / "m.npz")
+        a = TinyNet(rng)
+        a.save(path)
+        b = TinyNet(np.random.default_rng(9))
+        b.load(path)
+        b.fc.weight.data[:] = 0.0
+        assert not np.allclose(a.fc.weight.data, 0.0)

@@ -1,0 +1,97 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import encode_graph, node_feature_dim
+from repro.gpu import A100, P40, RTX2080TI, profile_graph
+from repro.models import ModelConfig, build_model
+from repro.sched import InterferenceModel, Job, OccuPacking, SlotPacking, \
+    simulate
+
+SMALL_MODELS = ("lenet", "alexnet", "rnn", "lstm")
+
+
+class TestProfilerInvariants:
+    @given(st.sampled_from(SMALL_MODELS), st.integers(2, 6),
+           st.sampled_from(["A100", "RTX2080Ti", "P40"]))
+    @settings(max_examples=25, deadline=None)
+    def test_profile_invariants(self, model_name, batch_exp, device_name):
+        from repro.gpu import get_device
+        device = get_device(device_name)
+        cfg = ModelConfig(batch_size=2**batch_exp)
+        prof = profile_graph(build_model(model_name, cfg), device,
+                             check_memory=False)
+        assert 0.0 < prof.occupancy <= 1.0
+        assert 0.0 < prof.nvml_utilization <= 1.0
+        assert prof.busy_time_s <= prof.wall_time_s
+        assert all(r.occupancy <= r.theoretical_occupancy + 1e-12
+                   for r in prof.records)
+        # min <= duration-weighted mean <= max over kernels.
+        assert prof.aggregate_occupancy("min") - 1e-12 <= prof.occupancy \
+            <= prof.aggregate_occupancy("max") + 1e-12
+
+    @given(st.sampled_from(SMALL_MODELS), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_flops_scale_with_batch(self, model_name, factor):
+        base = build_model(model_name, ModelConfig(batch_size=8)).total_flops()
+        big = build_model(model_name,
+                          ModelConfig(batch_size=8 * factor)).total_flops()
+        # FLOPs grow (sub)linearly-at-least-proportionally with batch.
+        assert big >= base * factor * 0.9
+
+
+class TestFeatureInvariants:
+    @given(st.sampled_from(SMALL_MODELS), st.integers(3, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_encoding_shape_stable(self, model_name, batch_exp):
+        g = build_model(model_name, ModelConfig(batch_size=2**batch_exp))
+        gf = encode_graph(g, A100)
+        assert gf.node_features.shape == (g.num_nodes, node_feature_dim())
+        assert np.all(np.isfinite(gf.node_features))
+        assert np.all(np.isfinite(gf.edge_features))
+        assert np.all(gf.edge_index < g.num_nodes)
+
+
+class TestSchedulerInvariants:
+    @staticmethod
+    def _jobs(seed: int, n: int) -> list[Job]:
+        rng = np.random.default_rng(seed)
+        return [Job(i, "m", float(rng.uniform(1, 20)),
+                    float(rng.uniform(0.05, 0.8)),
+                    float(rng.uniform(0.1, 0.9)))
+                for i in range(n)]
+
+    @given(st.integers(0, 50), st.integers(1, 10), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_all_work_conserved(self, seed, n_jobs, n_gpus):
+        jobs = self._jobs(seed, n_jobs)
+        res = simulate(jobs, n_gpus, OccuPacking())
+        # Every job completes with zero remaining work.
+        assert all(abs(j.remaining_s) < 1e-6 for j in res.jobs)
+        # Makespan is at least the biggest single job.
+        assert res.makespan_s >= max(j.duration_s for j in jobs) - 1e-9
+        # Busy time cannot exceed GPU-seconds available.
+        assert res.busy_integral_s <= res.makespan_s * n_gpus + 1e-9
+        # NVML integral is bounded by busy time.
+        assert res.nvml_integral_s <= res.busy_integral_s + 1e-9
+
+    @given(st.integers(0, 50), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_slot_packing_exact_serial_makespan(self, seed, n_jobs):
+        jobs = self._jobs(seed, n_jobs)
+        res = simulate(jobs, 1, SlotPacking())
+        assert res.makespan_s == pytest.approx(
+            sum(j.duration_s for j in jobs))
+        # No co-location ever: stretch is exactly 1 for every job.
+        assert all(j.stretch == pytest.approx(1.0) for j in res.jobs)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_interference_monotone_in_each_co_runner(self, own, a, b):
+        m = InterferenceModel()
+        assert m.slowdown(own, [a, b]) >= m.slowdown(own, [a]) - 1e-12

@@ -1,0 +1,211 @@
+"""Scheduler tests: jobs, interference, policies, simulator, workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import P40
+from repro.sched import (InterferenceModel, Job, NvmlUtilPacking,
+                         OccuPacking, POLICIES, SlotPacking,
+                         generate_workload, make_job, simulate)
+from repro.models import ModelConfig
+
+
+def job(jid=0, dur=10.0, occ=0.3, nvml=0.5, pred_occ=None, arrival=0.0):
+    return Job(job_id=jid, model_name="m", duration_s=dur, occupancy=occ,
+               nvml_utilization=nvml, predicted_occupancy=pred_occ,
+               arrival_s=arrival)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            job(dur=0.0)
+        with pytest.raises(ValueError):
+            job(occ=1.5)
+
+    def test_sched_occupancy_prefers_prediction(self):
+        j = job(occ=0.3, pred_occ=0.7)
+        assert j.sched_occupancy == 0.7
+        assert job(occ=0.3).sched_occupancy == 0.3
+
+    def test_jct_requires_completion(self):
+        with pytest.raises(RuntimeError):
+            _ = job().jct
+
+
+class TestInterference:
+    def test_alone_no_slowdown(self):
+        m = InterferenceModel()
+        assert m.slowdown(0.5, []) == 1.0
+
+    def test_monotone_in_co_runners(self):
+        m = InterferenceModel()
+        s1 = m.slowdown(0.3, [0.2])
+        s2 = m.slowdown(0.3, [0.2, 0.2])
+        s3 = m.slowdown(0.3, [0.2, 0.2, 0.4])
+        assert 1.0 < s1 < s2 < s3
+
+    def test_knee_at_cap(self):
+        """Past 100% cumulative occupancy the slope steepens (Fig. 7)."""
+        m = InterferenceModel()
+        below = m.slowdown(0.4, [0.5]) - m.slowdown(0.4, [0.4])
+        above = m.slowdown(0.4, [0.8]) - m.slowdown(0.4, [0.7])
+        assert above > below
+
+    def test_band_matches_fig7(self):
+        """Typical sub-knee co-locations land in the 10-60% band."""
+        m = InterferenceModel()
+        s = m.slowdown(0.4, [0.45])
+        assert 1.10 <= s <= 1.60
+
+    def test_pair_slowdown(self):
+        m = InterferenceModel()
+        a, b = m.pair_slowdown(0.3, 0.5)
+        assert a == m.slowdown(0.3, [0.5])
+        assert b == m.slowdown(0.5, [0.3])
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            InterferenceModel().slowdown(1.5, [])
+
+    @given(st.floats(0, 1), st.lists(st.floats(0, 1), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_slowdown_at_least_one(self, own, others):
+        assert InterferenceModel().slowdown(own, others) >= 1.0
+
+
+class TestPolicies:
+    def test_registry(self):
+        assert set(POLICIES) == {"slot-packing", "nvml-util-packing",
+                                 "occu-packing"}
+
+    def test_slot_only_empty(self):
+        p = SlotPacking()
+        assert p.admits(job(), [])
+        assert not p.admits(job(), [job(1)])
+
+    def test_nvml_cap(self):
+        p = NvmlUtilPacking(cap=1.0)
+        low = job(nvml=0.4)
+        assert p.admits(low, [job(1, nvml=0.5)])
+        assert not p.admits(job(nvml=0.6), [job(1, nvml=0.5)])
+
+    def test_occu_cap(self):
+        p = OccuPacking(cap=1.0)
+        assert p.admits(job(occ=0.4), [job(1, occ=0.5)])
+        assert not p.admits(job(occ=0.6), [job(1, occ=0.5)])
+
+    def test_occu_uses_predictions(self):
+        p = OccuPacking(cap=1.0)
+        # True occupancy fits, but the prediction says it will not.
+        j = job(occ=0.1, pred_occ=0.9)
+        assert not p.admits(j, [job(1, occ=0.1, pred_occ=0.5)])
+
+    def test_occu_max_jobs(self):
+        p = OccuPacking(cap=5.0, max_jobs_per_gpu=2)
+        assert not p.admits(job(occ=0.01),
+                            [job(1, occ=0.01), job(2, occ=0.01)])
+
+
+class TestSimulator:
+    def test_single_job(self):
+        res = simulate([job(dur=10.0)], 1, SlotPacking())
+        assert res.makespan_s == pytest.approx(10.0)
+        assert res.jobs[0].jct == pytest.approx(10.0)
+
+    def test_serial_queue_on_one_gpu(self):
+        jobs = [job(0, 5.0), job(1, 5.0)]
+        res = simulate(jobs, 1, SlotPacking())
+        assert res.makespan_s == pytest.approx(10.0)
+        assert jobs[1].start_s == pytest.approx(5.0)
+
+    def test_two_gpus_parallel(self):
+        jobs = [job(0, 5.0), job(1, 5.0)]
+        res = simulate(jobs, 2, SlotPacking())
+        assert res.makespan_s == pytest.approx(5.0)
+
+    def test_colocation_with_interference(self):
+        jobs = [job(0, 10.0, occ=0.4), job(1, 10.0, occ=0.4)]
+        res = simulate(jobs, 1, OccuPacking())
+        # Co-located: both stretched by the same slowdown factor.
+        m = InterferenceModel().slowdown(0.4, [0.4])
+        assert res.makespan_s == pytest.approx(10.0 * m)
+        # Still beats serial execution (20 s) because slowdown < 2.
+        assert res.makespan_s < 20.0
+
+    def test_arrivals_respected(self):
+        jobs = [job(0, 5.0), job(1, 5.0, arrival=100.0)]
+        res = simulate(jobs, 2, SlotPacking())
+        assert jobs[1].start_s == pytest.approx(100.0)
+        assert res.makespan_s == pytest.approx(105.0)
+
+    def test_oversized_job_falls_back_to_exclusive(self):
+        # occ 0.9 > cap 0.5 -> not admissible anywhere, must still run.
+        jobs = [job(0, 5.0, occ=0.9)]
+        res = simulate(jobs, 1, OccuPacking(cap=0.5))
+        assert res.makespan_s == pytest.approx(5.0)
+
+    def test_utilization_bounds(self):
+        jobs = [job(i, 5.0, occ=0.3, nvml=0.5) for i in range(6)]
+        res = simulate(jobs, 2, OccuPacking())
+        assert 0.0 < res.avg_nvml_utilization <= 1.0
+
+    def test_nvml_integral_capped_at_one_per_gpu(self):
+        jobs = [job(i, 10.0, occ=0.2, nvml=0.9) for i in range(3)]
+        res = simulate(jobs, 1, OccuPacking())
+        assert res.nvml_integral_s <= res.makespan_s + 1e-9
+
+    def test_all_jobs_complete(self):
+        jobs = [job(i, float(i + 1), occ=0.2) for i in range(7)]
+        res = simulate(jobs, 3, OccuPacking())
+        assert all(j.finish_s is not None for j in res.jobs)
+        assert all(j.remaining_s == pytest.approx(0.0, abs=1e-9)
+                   for j in res.jobs)
+
+    def test_makespan_lower_bound_total_work(self):
+        jobs = [job(i, 4.0, occ=0.2) for i in range(8)]
+        res = simulate(jobs, 2, SlotPacking())
+        # 8 jobs x 4 s on 2 GPUs serial: exactly 16 s.
+        assert res.makespan_s == pytest.approx(16.0)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            simulate([job()], 0, SlotPacking())
+
+    def test_rerunnable_under_multiple_policies(self):
+        jobs = [job(i, 5.0, occ=0.3) for i in range(4)]
+        r1 = simulate(jobs, 2, SlotPacking())
+        r2 = simulate(jobs, 2, OccuPacking())
+        assert r2.makespan_s <= r1.makespan_s + 1e-9
+
+    @given(st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_at_least_longest_job(self, n_jobs, n_gpus):
+        jobs = [job(i, dur=2.0 + i, occ=0.2) for i in range(n_jobs)]
+        res = simulate(jobs, n_gpus, OccuPacking())
+        assert res.makespan_s >= max(j.duration_s for j in jobs) - 1e-9
+
+
+class TestWorkload:
+    def test_make_job_fields(self):
+        j = make_job(0, "lenet", ModelConfig(batch_size=32), P40,
+                     iterations=100, host_overhead_factor=1.0)
+        assert j.duration_s > 0
+        assert 0 < j.occupancy < 1
+        # 1:1 host overhead halves the duty cycle.
+        assert j.nvml_utilization < j.predicted_nvml
+
+    def test_generate_workload_count_and_seeding(self):
+        a = generate_workload(["lenet", "rnn"], P40, 5, seed=2)
+        b = generate_workload(["lenet", "rnn"], P40, 5, seed=2)
+        assert len(a) == 5
+        assert [j.duration_s for j in a] == [j.duration_s for j in b]
+
+    def test_predictor_integration_and_clipping(self):
+        jobs = generate_workload(["lenet"], P40, 2, seed=0,
+                                 predictor=lambda f: 7.5)
+        assert all(j.predicted_occupancy == 1.0 for j in jobs)

@@ -1,0 +1,131 @@
+"""Scheduler extension tests: memory-aware admission, placement
+strategies, Poisson arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import P40
+from repro.sched import (Job, OccuPacking, SlotPacking, generate_workload,
+                         simulate)
+
+
+def job(jid=0, dur=10.0, occ=0.2, nvml=0.5, mem=0, arrival=0.0):
+    return Job(job_id=jid, model_name="m", duration_s=dur, occupancy=occ,
+               nvml_utilization=nvml, memory_bytes=mem, arrival_s=arrival)
+
+
+class TestMemoryAwareAdmission:
+    GIB = 2**30
+
+    def test_memory_blocks_colocation(self):
+        p = OccuPacking(cap=1.0, memory_capacity_bytes=10 * self.GIB)
+        big = job(0, mem=8 * self.GIB)
+        other = job(1, mem=4 * self.GIB)
+        assert p.admits(big, [])
+        assert not p.admits(other, [big])
+
+    def test_memory_allows_when_fits(self):
+        p = OccuPacking(cap=1.0, memory_capacity_bytes=10 * self.GIB)
+        a = job(0, mem=4 * self.GIB)
+        b = job(1, mem=4 * self.GIB)
+        assert p.admits(b, [a])
+
+    def test_no_memory_limit_by_default(self):
+        p = OccuPacking(cap=1.0)
+        a = job(0, mem=10**15)
+        b = job(1, mem=10**15)
+        assert p.admits(b, [a])
+
+    def test_simulation_respects_memory(self):
+        cap = 10 * self.GIB
+        jobs = [job(i, dur=5.0, occ=0.1, mem=6 * self.GIB)
+                for i in range(2)]
+        p = OccuPacking(cap=1.0, memory_capacity_bytes=cap)
+        res = simulate(jobs, 1, p)
+        # Cannot co-locate: serial execution.
+        assert res.makespan_s == pytest.approx(10.0)
+
+    def test_workload_jobs_carry_memory(self):
+        jobs = generate_workload(["lenet"], P40, 2, seed=0)
+        assert all(j.memory_bytes > 0 for j in jobs)
+
+
+class TestPlacementStrategies:
+    def _jobs(self):
+        return [job(i, dur=10.0, occ=0.3) for i in range(4)]
+
+    def test_unknown_placement_raises(self):
+        with pytest.raises(ValueError):
+            simulate(self._jobs(), 2, OccuPacking(), placement="random")
+
+    def test_worst_fit_spreads(self):
+        jobs = [job(0, occ=0.3), job(1, occ=0.3)]
+        simulate(jobs, 2, OccuPacking(), placement="worst-fit")
+        # Two GPUs, two jobs, worst-fit: one job each.
+        assert jobs[0].gpu_id != jobs[1].gpu_id
+
+    def test_best_fit_consolidates(self):
+        jobs = [job(0, occ=0.3, dur=100.0), job(1, occ=0.3, dur=100.0)]
+        simulate(jobs, 2, OccuPacking(), placement="best-fit")
+        # Best-fit stacks the second job on the already-loaded GPU.
+        assert jobs[0].gpu_id == jobs[1].gpu_id
+
+    def test_first_fit_uses_lowest_index(self):
+        jobs = [job(0, occ=0.3)]
+        simulate(jobs, 4, OccuPacking(), placement="first-fit")
+        assert jobs[0].gpu_id == 0
+
+    def test_all_strategies_complete_work(self):
+        for placement in ("first-fit", "best-fit", "worst-fit"):
+            jobs = self._jobs()
+            res = simulate(jobs, 2, OccuPacking(), placement=placement)
+            assert all(j.finish_s is not None for j in res.jobs)
+
+
+class TestClusterMetrics:
+    def test_queue_delay_serial(self):
+        jobs = [job(0, dur=5.0), job(1, dur=5.0)]
+        res = simulate(jobs, 1, SlotPacking())
+        # First job starts immediately; second waits 5 s -> mean 2.5 s.
+        assert res.avg_queue_delay == pytest.approx(2.5)
+
+    def test_queue_delay_zero_with_enough_gpus(self):
+        jobs = [job(i, dur=5.0) for i in range(3)]
+        res = simulate(jobs, 3, SlotPacking())
+        assert res.avg_queue_delay == pytest.approx(0.0)
+
+    def test_jct_percentiles_ordered(self):
+        jobs = [job(i, dur=float(i + 1)) for i in range(6)]
+        res = simulate(jobs, 2, SlotPacking())
+        assert res.jct_percentile(50) <= res.jct_percentile(95)
+        assert res.jct_percentile(100) == pytest.approx(
+            max(j.jct for j in res.jobs))
+
+
+class TestPoissonArrivals:
+    def test_default_all_arrive_at_zero(self):
+        jobs = generate_workload(["lenet"], P40, 3, seed=0)
+        assert all(j.arrival_s == 0.0 for j in jobs)
+
+    def test_poisson_arrivals_increase(self):
+        jobs = generate_workload(["lenet"], P40, 5, seed=0,
+                                 arrival_rate_per_s=0.5)
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0.0
+
+    def test_arrival_rate_controls_spacing(self):
+        fast = generate_workload(["lenet"], P40, 6, seed=1,
+                                 arrival_rate_per_s=10.0)
+        slow = generate_workload(["lenet"], P40, 6, seed=1,
+                                 arrival_rate_per_s=0.1)
+        assert slow[-1].arrival_s > fast[-1].arrival_s
+
+    def test_simulation_honours_arrivals(self):
+        jobs = [job(0, dur=2.0), job(1, dur=2.0, arrival=50.0)]
+        res = simulate(jobs, 1, SlotPacking())
+        assert res.makespan_s == pytest.approx(52.0)
+        # The cluster idles between the jobs.
+        assert res.busy_integral_s == pytest.approx(4.0)

@@ -1,0 +1,112 @@
+"""Tests for workload traces, DOT export, and the seed ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (DNNOccu, DNNOccuConfig, EnsemblePredictor,
+                        TrainConfig, Trainer, train_ensemble)
+from repro.graph import to_dot
+from repro.models import ModelConfig, build_model
+from repro.sched import (Job, SlotPacking, load_trace, save_trace, simulate)
+
+
+def jobs():
+    return [Job(i, f"m{i}", 5.0 + i, 0.2 + 0.1 * i, 0.5,
+                memory_bytes=1000 * i, predicted_occupancy=0.25,
+                arrival_s=float(i)) for i in range(3)]
+
+
+class TestWorkloadTrace:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        original = jobs()
+        save_trace(original, path)
+        back = load_trace(path)
+        assert len(back) == 3
+        for a, b in zip(original, back):
+            assert a.job_id == b.job_id
+            assert a.duration_s == b.duration_s
+            assert a.occupancy == b.occupancy
+            assert a.predicted_occupancy == b.predicted_occupancy
+            assert a.arrival_s == b.arrival_s
+
+    def test_replay_matches_original(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        original = jobs()
+        save_trace(original, path)
+        r1 = simulate(original, 2, SlotPacking())
+        r2 = simulate(load_trace(path), 2, SlotPacking())
+        assert r1.makespan_s == pytest.approx(r2.makespan_s)
+
+    def test_runtime_state_not_serialized(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        original = jobs()
+        simulate(original, 2, SlotPacking())  # populates runtime state
+        save_trace(original, path)
+        back = load_trace(path)
+        assert all(j.finish_s is None for j in back)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 42, "jobs": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_trace(str(path))
+
+
+class TestDotExport:
+    def test_valid_structure(self):
+        g = build_model("lenet", ModelConfig(batch_size=4))
+        dot = to_dot(g)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == g.num_edges
+        assert dot.count("[label=") == g.num_nodes
+
+    def test_backward_edges_dashed(self):
+        from repro.graph import add_backward_edges
+        g = add_backward_edges(build_model("lenet", ModelConfig(batch_size=4)))
+        dot = to_dot(g)
+        assert "style=dashed" in dot
+
+    def test_conv_color_coded(self):
+        g = build_model("lenet", ModelConfig(batch_size=4))
+        assert "lightblue" in to_dot(g)
+
+
+class TestEnsemble:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EnsemblePredictor([])
+
+    def test_average_of_members(self, tiny_dataset):
+        a = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        b = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=1)
+        ens = EnsemblePredictor([a, b])
+        s = tiny_dataset[0].features
+        expected = 0.5 * (a.predict(s) + b.predict(s))
+        assert ens.predict(s) == pytest.approx(expected)
+
+    def test_train_ensemble_members_differ(self, tiny_dataset):
+        ens = train_ensemble(
+            lambda seed: DNNOccu(DNNOccuConfig(hidden=16, num_heads=2),
+                                 seed=seed),
+            tiny_dataset, TrainConfig(epochs=2, lr=1e-3), num_members=2)
+        s = tiny_dataset[0].features
+        p0 = ens.members[0].predict(s)
+        p1 = ens.members[1].predict(s)
+        assert p0 != p1
+
+    def test_train_ensemble_validates_members(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            train_ensemble(lambda s: DNNOccu(seed=s), tiny_dataset,
+                           TrainConfig(epochs=1), num_members=0)
+
+    def test_ensemble_works_with_trainer_evaluate(self, tiny_dataset):
+        ens = train_ensemble(
+            lambda seed: DNNOccu(DNNOccuConfig(hidden=16, num_heads=2),
+                                 seed=seed),
+            tiny_dataset, TrainConfig(epochs=3, lr=1e-3), num_members=2)
+        ev = Trainer(ens).evaluate(tiny_dataset)
+        assert 0 <= ev["mse"] < 1.0

@@ -1,0 +1,69 @@
+"""Uncertainty-aware prediction and packing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DNNOccu, DNNOccuConfig, EnsemblePredictor
+from repro.sched import Job, OccuPacking
+
+
+def job(jid=0, occ=0.3, pred=0.3, std=0.0):
+    return Job(job_id=jid, model_name="m", duration_s=10.0, occupancy=occ,
+               nvml_utilization=0.5, predicted_occupancy=pred,
+               predicted_std=std)
+
+
+class TestEnsembleUncertainty:
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        members = [DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=s)
+                   for s in range(3)]
+        return EnsemblePredictor(members)
+
+    def test_mean_matches_predict(self, ensemble, tiny_dataset):
+        f = tiny_dataset[0].features
+        mean, _ = ensemble.predict_with_std(f)
+        assert mean == pytest.approx(ensemble.predict(f))
+
+    def test_std_nonnegative_and_positive_for_fresh_members(self, ensemble,
+                                                            tiny_dataset):
+        _, std = ensemble.predict_with_std(tiny_dataset[0].features)
+        assert std > 0.0  # untrained members disagree
+
+    def test_identical_members_zero_std(self, tiny_dataset):
+        m = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=0)
+        ens = EnsemblePredictor([m, m])
+        _, std = ens.predict_with_std(tiny_dataset[0].features)
+        assert std == pytest.approx(0.0)
+
+
+class TestRiskAwarePacking:
+    def test_margin_blocks_uncertain_colocation(self):
+        p = OccuPacking(cap=1.0, uncertainty_margin=2.0)
+        certain = job(0, pred=0.45, std=0.0)
+        uncertain = job(1, pred=0.45, std=0.2)  # 0.45+0.4 = 0.85 demand
+        assert p.admits(certain, [certain])          # 0.9 <= 1.0
+        assert not p.admits(uncertain, [certain])    # 0.45 + 0.85 > 1.0
+
+    def test_zero_margin_ignores_std(self):
+        p = OccuPacking(cap=1.0, uncertainty_margin=0.0)
+        a = job(0, pred=0.45, std=0.9)
+        b = job(1, pred=0.45, std=0.9)
+        assert p.admits(b, [a])
+
+    def test_trace_roundtrip_preserves_std(self, tmp_path):
+        from repro.sched import load_trace, save_trace
+        path = str(tmp_path / "t.json")
+        save_trace([job(0, std=0.12)], path)
+        assert load_trace(path)[0].predicted_std == pytest.approx(0.12)
+
+    def test_workload_tuple_predictor(self):
+        from repro.gpu import P40
+        from repro.sched import generate_workload
+        jobs = generate_workload(["lenet"], P40, 2, seed=0,
+                                 predictor=lambda f: (0.4, 0.05))
+        assert all(j.predicted_occupancy == pytest.approx(0.4)
+                   for j in jobs)
+        assert all(j.predicted_std == pytest.approx(0.05) for j in jobs)

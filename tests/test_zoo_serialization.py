@@ -1,0 +1,37 @@
+"""Serialization round trips for the full model zoo + profiler stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import ComputationGraph
+from repro.gpu import A100, P40, fuse_elementwise, profile_graph
+from repro.models import ModelConfig, build_model, list_models
+
+SMALL = ModelConfig(batch_size=8, seq_len=32)
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_zoo_json_roundtrip(name):
+    g = build_model(name, SMALL)
+    back = ComputationGraph.from_json(g.to_json())
+    assert back.num_nodes == g.num_nodes
+    assert back.num_edges == g.num_edges
+    assert back.total_flops() == g.total_flops()
+    assert back.topological_order() == g.topological_order()
+    # Profiling the deserialized graph gives the identical label.
+    occ_a = profile_graph(g, A100, check_memory=False).occupancy
+    occ_b = profile_graph(back, A100, check_memory=False).occupancy
+    assert occ_a == occ_b
+
+
+@pytest.mark.parametrize("name", ["resnet-18", "vit-t", "bert",
+                                  "convnext-t"])
+def test_zoo_fusion_roundtrip(name):
+    """Fused graphs also serialize and profile consistently."""
+    g = fuse_elementwise(build_model(name, SMALL))
+    back = ComputationGraph.from_json(g.to_json())
+    occ_a = profile_graph(g, P40, check_memory=False).occupancy
+    occ_b = profile_graph(back, P40, check_memory=False).occupancy
+    assert occ_a == occ_b
