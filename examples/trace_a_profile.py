@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Capture an observability trace of a profile run and read it back.
+
+This demonstrates the `repro.obs` layer end-to-end:
+
+1. enable observability (tracer + metrics registry);
+2. run an instrumented workload — here, profiling ResNet-18 on the A100
+   and a small co-location schedule on two P40s;
+3. export a Chrome trace-event file (open it in chrome://tracing or
+   https://ui.perfetto.dev) with the metrics snapshot embedded;
+4. summarize it in the terminal (top spans by self-time, metric table)
+   and print the Prometheus exposition a scraper would collect.
+
+Run:  python examples/trace_a_profile.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro import obs
+from repro.gpu import A100, P40, profile_graph
+from repro.models import ModelConfig, build_model
+from repro.sched import SlotPacking, generate_workload, simulate
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1-2. Record spans + metrics while instrumented code runs
+    # ------------------------------------------------------------------ #
+    with obs.observed() as (tracer, registry):
+        graph = build_model("resnet-18", ModelConfig(batch_size=32))
+        prof = profile_graph(graph, A100)
+        print(f"profiled {graph.name}: {prof.num_kernels} kernels, "
+              f"occupancy {prof.occupancy:.1%}")
+
+        jobs = generate_workload(("lenet", "alexnet"), P40, 6, seed=0,
+                                 iterations_range=(50, 200))
+        res = simulate(jobs, 2, SlotPacking())
+        print(f"scheduled {len(jobs)} jobs on 2x P40: "
+              f"makespan {res.makespan_s:.1f}s")
+
+        # ---------------------------------------------------------- #
+        # 3. Export while the tracer/registry handles are in scope
+        # ---------------------------------------------------------- #
+        payload = obs.export_chrome_trace(tracer, registry,
+                                          example="trace_a_profile")
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as fh:
+        fh.write(payload)
+        path = fh.name
+    print(f"\nwrote {len(tracer.events)} span events to {path}")
+    print("open it in chrome://tracing or https://ui.perfetto.dev,")
+    print(f"or run: python -m repro obs {path}\n")
+
+    # ------------------------------------------------------------------ #
+    # 4. Terminal summary + Prometheus exposition
+    # ------------------------------------------------------------------ #
+    print(obs.summarize_trace(json.loads(payload), top=8))
+    print("\nPrometheus exposition (what a scraper would collect):\n")
+    print(registry.to_prometheus())
+
+
+if __name__ == "__main__":
+    main()

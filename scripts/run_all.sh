@@ -13,8 +13,17 @@ SCALE="${1:-1}"
 echo "== install (offline-friendly editable) =="
 pip install -e . 2>/dev/null || python setup.py develop
 
+echo "== syntax check (fail fast on any unparseable module) =="
+python -m compileall -q src
+
 echo "== unit / integration / property tests =="
 python -m pytest tests/ -q | tee test_output.txt
+
+echo "== observability smoke: trace round-trip =="
+OBS_TRACE="$(mktemp /tmp/repro_trace.XXXXXX.json)"
+python -m repro profile --model lenet --batch 16 --trace-out "$OBS_TRACE"
+python -m repro obs "$OBS_TRACE"
+rm -f "$OBS_TRACE"
 
 echo "== reproduce every table and figure (scale=$SCALE) =="
 REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \

@@ -13,15 +13,17 @@ NumPy/SciPy/NetworkX:
 * :mod:`repro.core` -- the DNN-occu model and trainer;
 * :mod:`repro.baselines` -- MLP, LSTM, Transformer, DNNPerf, BRP-NAS;
 * :mod:`repro.sched` -- trace-driven co-location scheduling (Table VI);
-* :mod:`repro.metrics` -- MRE/MSE and bucketing.
+* :mod:`repro.metrics` -- MRE/MSE and bucketing;
+* :mod:`repro.obs` -- observability: tracing spans, metrics registry,
+  structured logging, Chrome-trace / Prometheus exporters.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import (baselines, core, data, features, graph, gpu, metrics, models,
-               nn, sched, tensor)
+               nn, obs, sched, tensor)
 
 __all__ = [
     "tensor", "nn", "graph", "models", "gpu", "features", "data", "core",
-    "baselines", "sched", "metrics", "__version__",
+    "baselines", "sched", "metrics", "obs", "__version__",
 ]

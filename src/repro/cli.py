@@ -9,11 +9,18 @@ Three subcommands mirror the system's three roles:
 * ``schedule`` — run the Table VI packing-strategy comparison on a
   simulated cluster.
 
+Observability: ``profile`` / ``schedule`` / ``trace`` accept
+``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
+file, and ``repro obs PATH`` summarizes a saved trace (top spans by
+self-time, metric table).  ``--log-level`` turns on structured logging.
+
 Examples::
 
     python -m repro profile --model resnet-50 --batch 64 --device A100
     python -m repro predict --target resnet-50 --batch 64 --device A100
     python -m repro schedule --gpus 4 --jobs 24 --device P40
+    python -m repro profile --model vit-t --trace-out t.json
+    python -m repro obs t.json
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import sys
 
 import numpy as np
 
+from . import __version__, obs
 from .core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
 from .data import SEEN_MODELS, generate_dataset
 from .features import encode_graph
@@ -34,9 +42,22 @@ from .sched import (NvmlUtilPacking, OccuPacking, SlotPacking,
 __all__ = ["main", "build_parser"]
 
 
+def _add_trace_out(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record spans + metrics to a Chrome trace-event "
+                        "JSON file (open in chrome://tracing or Perfetto, "
+                        "or summarize with `repro obs PATH`)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DNN-occu: GPU occupancy prediction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    parser.add_argument("--log-level", choices=sorted(obs.LOG_LEVELS),
+                        default=None,
+                        help="enable structured (key=value) logging at "
+                             "this level")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("profile", help="simulate and profile one model")
@@ -47,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="A100")
     p.add_argument("--top", type=int, default=5,
                    help="show the N longest kernels")
+    _add_trace_out(p)
 
     p = sub.add_parser("predict", help="train DNN-occu, predict a target")
     p.add_argument("--target", required=True, choices=list_models())
@@ -67,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=24)
     p.add_argument("--device", default="P40")
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_out(p)
 
     p = sub.add_parser("trace", help="export a Chrome kernel timeline")
     p.add_argument("--model", required=True, choices=list_models())
@@ -76,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="A100")
     p.add_argument("--out", required=True,
                    help="output .json path (open in chrome://tracing)")
+    _add_trace_out(p)
+
+    p = sub.add_parser("obs", help="summarize a saved trace file")
+    p.add_argument("trace", help="Chrome trace-event .json (from "
+                                 "--trace-out or the trace subcommand)")
+    p.add_argument("--top", type=int, default=15,
+                   help="show the N spans with the most self-time")
 
     p = sub.add_parser("dataset", help="generate and save a profile dataset")
     p.add_argument("--models", nargs="+", required=True)
@@ -164,6 +194,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    try:
+        trace = obs.load_trace_file(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(obs.summarize_trace(trace, top=args.top))
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .data import save_dataset
     devices = [get_device(d) for d in args.devices]
@@ -177,9 +221,27 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return {"profile": _cmd_profile, "predict": _cmd_predict,
-            "schedule": _cmd_schedule, "trace": _cmd_trace,
-            "dataset": _cmd_dataset}[args.command](args)
+    if args.log_level:
+        obs.configure_logging(args.log_level)
+    handler = {"profile": _cmd_profile, "predict": _cmd_predict,
+               "schedule": _cmd_schedule, "trace": _cmd_trace,
+               "obs": _cmd_obs, "dataset": _cmd_dataset}[args.command]
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return handler(args)
+    tracer, registry = obs.enable()
+    try:
+        rc = handler(args)
+    finally:
+        payload = obs.export_chrome_trace(tracer, registry,
+                                          command=args.command)
+        obs.disable()
+    with open(trace_out, "w") as fh:
+        fh.write(payload)
+    print(f"wrote {len(tracer.events)} span events + "
+          f"{len(registry)} metrics to {trace_out} "
+          f"(summarize with `repro obs {trace_out}`)")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,13 +8,19 @@ and gradient clipping for the recurrent baseline's stability.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data import Dataset
 from ..metrics import evaluate_predictions
+from ..obs import get_logger
+from ..obs.metrics import gauge
+from ..obs.tracing import span
 from ..tensor import Adam, Module, Tensor, clip_grad_norm, no_grad
+
+_log = get_logger("core.trainer")
 
 __all__ = ["TrainConfig", "Trainer", "TrainHistory", "fit_best_of"]
 
@@ -41,10 +47,21 @@ class TrainConfig:
 
 @dataclass
 class TrainHistory:
-    """Per-epoch training (and optional validation) loss curve."""
+    """Per-epoch training (and optional validation) loss curve.
+
+    ``epoch_time_s`` keeps the wall-clock seconds each epoch took — the
+    training-cost axis of every loss curve, and what the observability
+    layer reads back out.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
+    epoch_time_s: list[float] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall-clock seconds spent fitting, summed over epochs."""
+        return float(sum(self.epoch_time_s))
 
 
 class Trainer:
@@ -71,41 +88,59 @@ class Trainer:
         best_val = np.inf
         best_state = None
         stale = 0
+        # Hoisted metric handles (no-ops when observability is off).
+        loss_gauge = gauge("trainer_loss", "last epoch mean train loss")
+        lr_gauge = gauge("trainer_lr", "current learning rate")
         for epoch in range(cfg.epochs):
-            if cfg.lr_decay == "cosine":
-                frac = epoch / max(1, cfg.epochs - 1)
-                self.optimizer.lr = cfg.lr_min + 0.5 * (cfg.lr - cfg.lr_min) \
-                    * (1.0 + np.cos(np.pi * frac))
-            order = rng.permutation(len(train))
-            epoch_loss = 0.0
-            for start in range(0, len(order), cfg.batch_size):
-                batch = order[start:start + cfg.batch_size]
-                self.optimizer.zero_grad()
-                loss = None
-                for i in batch:
-                    sample = train[i]
-                    pred = self.model(sample.features)
-                    err = (pred - sample.occupancy) ** 2
-                    loss = err if loss is None else loss + err
-                loss = loss * (1.0 / len(batch))
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                self.optimizer.step()
-                epoch_loss += float(loss.data) * len(batch)
-            self.history.train_loss.append(epoch_loss / len(train))
-            if val is not None and len(val) > 0:
-                val_mse = self.evaluate(val)["mse"]
-                self.model.train()  # evaluate() switches to eval mode
-                self.history.val_loss.append(val_mse)
-                if cfg.patience is not None:
-                    if val_mse < best_val - 1e-12:
-                        best_val = val_mse
-                        best_state = self.model.state_dict()
-                        stale = 0
-                    else:
-                        stale += 1
-                        if stale > cfg.patience:
-                            break
+            epoch_t0 = time.perf_counter()
+            stop = False
+            with span("trainer.epoch", epoch=epoch):
+                if cfg.lr_decay == "cosine":
+                    frac = epoch / max(1, cfg.epochs - 1)
+                    self.optimizer.lr = cfg.lr_min \
+                        + 0.5 * (cfg.lr - cfg.lr_min) \
+                        * (1.0 + np.cos(np.pi * frac))
+                order = rng.permutation(len(train))
+                epoch_loss = 0.0
+                for start in range(0, len(order), cfg.batch_size):
+                    batch = order[start:start + cfg.batch_size]
+                    self.optimizer.zero_grad()
+                    loss = None
+                    for i in batch:
+                        sample = train[i]
+                        pred = self.model(sample.features)
+                        err = (pred - sample.occupancy) ** 2
+                        loss = err if loss is None else loss + err
+                    loss = loss * (1.0 / len(batch))
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                    self.optimizer.step()
+                    epoch_loss += float(loss.data) * len(batch)
+                train_loss = epoch_loss / len(train)
+                self.history.train_loss.append(train_loss)
+                if val is not None and len(val) > 0:
+                    with span("trainer.validate", epoch=epoch):
+                        val_mse = self.evaluate(val)["mse"]
+                    self.model.train()  # evaluate() switches to eval mode
+                    self.history.val_loss.append(val_mse)
+                    if cfg.patience is not None:
+                        if val_mse < best_val - 1e-12:
+                            best_val = val_mse
+                            best_state = self.model.state_dict()
+                            stale = 0
+                        else:
+                            stale += 1
+                            if stale > cfg.patience:
+                                stop = True
+            self.history.epoch_time_s.append(
+                time.perf_counter() - epoch_t0)
+            loss_gauge.set(train_loss)
+            lr_gauge.set(self.optimizer.lr)
+            _log.debug("epoch done", extra={
+                "epoch": epoch, "train_loss": round(train_loss, 6),
+                "wall_s": round(self.history.epoch_time_s[-1], 4)})
+            if stop:
+                break
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
@@ -119,9 +154,12 @@ class Trainer:
                              for s in dataset])
 
     def evaluate(self, dataset: Dataset) -> dict[str, float]:
-        """MRE (percent) and MSE on ``dataset``."""
+        """MRE (percent) and MSE on ``dataset``, plus the wall-clock
+        seconds :meth:`fit` has spent so far (``fit_time_s``)."""
         pred = self.predict(dataset)
-        return evaluate_predictions(pred, dataset.labels())
+        out = evaluate_predictions(pred, dataset.labels())
+        out["fit_time_s"] = self.history.total_time_s
+        return out
 
 
 def fit_best_of(factory, train: Dataset, config: TrainConfig,

@@ -4,12 +4,13 @@ from .device import A100, DEVICES, P40, RTX2080TI, DeviceSpec, get_device, WARP_
 from .occupancy import OccupancyResult, achieved_occupancy, theoretical_occupancy
 from .kernels import GemmShape, KernelLaunch, lower_node
 from .profiler import (KernelRecord, OutOfMemoryError, ProfileResult,
-                       estimate_memory_bytes, profile_graph)
+                       check_memory_or_raise, estimate_memory_bytes,
+                       profile_graph)
 from .trace import occupancy_report, to_chrome_trace
 from .fusion import FUSABLE_OPS, HEAVY_OPS, fuse_elementwise
 from .colocation import BANDWIDTH_TAX, calibrate_interference, co_run, pair_slowdown
 from .memory import (ALLOCATOR_OVERHEAD_BYTES, peak_activation_bytes,
-                     peak_memory_bytes, weight_bytes)
+                     peak_memory_breakdown, peak_memory_bytes, weight_bytes)
 from .training import lower_backward, profile_training_graph
 
 __all__ = [
@@ -18,11 +19,11 @@ __all__ = [
     "OccupancyResult", "theoretical_occupancy", "achieved_occupancy",
     "KernelLaunch", "GemmShape", "lower_node",
     "KernelRecord", "ProfileResult", "profile_graph",
-    "estimate_memory_bytes", "OutOfMemoryError",
+    "estimate_memory_bytes", "check_memory_or_raise", "OutOfMemoryError",
     "to_chrome_trace", "occupancy_report",
     "fuse_elementwise", "FUSABLE_OPS", "HEAVY_OPS",
     "co_run", "pair_slowdown", "calibrate_interference", "BANDWIDTH_TAX",
     "peak_activation_bytes", "weight_bytes", "peak_memory_bytes",
-    "ALLOCATOR_OVERHEAD_BYTES",
+    "peak_memory_breakdown", "ALLOCATOR_OVERHEAD_BYTES",
     "profile_training_graph", "lower_backward",
 ]

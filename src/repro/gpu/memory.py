@@ -12,14 +12,14 @@ from __future__ import annotations
 from ..graph import ComputationGraph, DTYPE_BYTES
 
 __all__ = ["peak_activation_bytes", "weight_bytes", "peak_memory_bytes",
-           "ALLOCATOR_OVERHEAD_BYTES"]
+           "peak_memory_breakdown", "ALLOCATOR_OVERHEAD_BYTES"]
 
 #: CUDA context + caching-allocator slack
 ALLOCATOR_OVERHEAD_BYTES = 512 * 2**20
 
 
-def peak_activation_bytes(graph: ComputationGraph) -> int:
-    """Peak bytes of simultaneously-live activations during execution.
+def _liveness_walk(graph: ComputationGraph) -> tuple[int, int | None]:
+    """(peak live bytes, node id executing when the live set peaks).
 
     Liveness: an output buffer is allocated when its node executes and
     freed after the last of its consumers executes.  Outputs with no
@@ -39,6 +39,7 @@ def peak_activation_bytes(graph: ComputationGraph) -> int:
 
     live = 0
     peak = 0
+    peak_nid: int | None = None
     # Buffers to free after each step.
     frees: dict[int, list[int]] = {}
     for nid, end in last_use.items():
@@ -46,10 +47,17 @@ def peak_activation_bytes(graph: ComputationGraph) -> int:
 
     for step, nid in enumerate(order):
         live += graph.nodes[nid].output_bytes
-        peak = max(peak, live)
+        if live > peak:
+            peak = live
+            peak_nid = nid
         for freed in frees.get(step, ()):
             live -= graph.nodes[freed].output_bytes
-    return peak
+    return peak, peak_nid
+
+
+def peak_activation_bytes(graph: ComputationGraph) -> int:
+    """Peak bytes of simultaneously-live activations during execution."""
+    return _liveness_walk(graph)[0]
 
 
 def weight_bytes(graph: ComputationGraph) -> int:
@@ -85,6 +93,28 @@ def weight_bytes(graph: ComputationGraph) -> int:
 def peak_memory_bytes(graph: ComputationGraph) -> int:
     """Full working-set estimate: weights + live activations + workspace
     + allocator overhead.  The quantity checked against device capacity."""
+    return peak_memory_breakdown(graph)["total_bytes"]
+
+
+def peak_memory_breakdown(graph: ComputationGraph) -> dict:
+    """Where the working set comes from — the OOM attribution view.
+
+    Returns ``total_bytes`` (what :func:`peak_memory_bytes` reports) plus
+    its components and the culprit node: ``peak_node_id`` /
+    ``peak_op_type`` identify the operator executing when the live
+    activation set peaks, which is what an OOM message should name.
+    """
+    activations, peak_nid = _liveness_walk(graph)
     workspace = max((n.temp_bytes for n in graph.nodes.values()), default=0)
-    return (weight_bytes(graph) + peak_activation_bytes(graph) + workspace
-            + ALLOCATOR_OVERHEAD_BYTES)
+    weights = weight_bytes(graph)
+    return {
+        "total_bytes": (weights + activations + workspace
+                        + ALLOCATOR_OVERHEAD_BYTES),
+        "weight_bytes": weights,
+        "activation_bytes": activations,
+        "workspace_bytes": workspace,
+        "allocator_overhead_bytes": ALLOCATOR_OVERHEAD_BYTES,
+        "peak_node_id": peak_nid,
+        "peak_op_type": (graph.nodes[peak_nid].op_type
+                         if peak_nid is not None else None),
+    }

@@ -20,12 +20,25 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph import ComputationGraph, DTYPE_BYTES
+from ..obs import get_logger
+from ..obs.metrics import counter, histogram
+from ..obs.tracing import span
 from .device import DeviceSpec
 from .kernels import KernelLaunch, lower_node
 from .occupancy import achieved_occupancy
 
+_log = get_logger("gpu.profiler")
+
+#: histogram bucket bounds for per-kernel durations (microseconds)
+KERNEL_DURATION_BUCKETS_US = (2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                              500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+#: histogram bucket bounds for achieved occupancy (fraction of peak)
+OCCUPANCY_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
 __all__ = ["KernelRecord", "ProfileResult", "profile_graph",
-           "estimate_memory_bytes", "OutOfMemoryError"]
+           "estimate_memory_bytes", "check_memory_or_raise",
+           "OutOfMemoryError"]
 
 #: CPU-side framework overhead per operator dispatch (seconds).  PyTorch
 #: eager-mode op dispatch costs on the order of 5-20 us.
@@ -166,38 +179,79 @@ def profile_graph(graph: ComputationGraph, device: DeviceSpec,
     memory (mirrors the paper's dataset generation, which scaled batch
     sizes up until OOM).
     """
-    if check_memory:
-        required = estimate_memory_bytes(graph)
-        if required > device.mem_capacity_bytes:
-            raise OutOfMemoryError(
-                f"{graph.name}: needs {required / 2**30:.1f} GiB, device "
-                f"{device.name} has {device.mem_capacity_gb} GiB")
+    with span("profile_graph", model=graph.name, device=device.name):
+        if check_memory:
+            check_memory_or_raise(graph, device)
 
-    result = ProfileResult(model_name=graph.name, device_name=device.name)
-    busy = 0.0
-    dispatches = 0
-    for nid in graph.topological_order():
-        node = graph.nodes[nid]
-        kernels = lower_node(node, device)
-        if kernels:
-            dispatches += 1
-        for kern in kernels:
-            occ, theo = achieved_occupancy(
-                device, kern.grid_blocks, kern.threads_per_block,
-                kern.regs_per_thread, kern.smem_per_block)
-            dur = _kernel_duration(kern, occ, device) * kern.count
-            busy += dur
-            result.records.append(KernelRecord(
-                name=kern.name, node_id=nid, duration_s=dur,
-                occupancy=occ, theoretical_occupancy=theo.occupancy,
-                limiter=theo.limiter, flops=kern.flops * kern.count,
-                bytes_moved=kern.bytes_moved * kern.count, count=kern.count))
+        # Hoisted metric handles: one registry lookup per profile call,
+        # not per kernel (and shared no-ops when observability is off).
+        kernels_total = counter(
+            "profiler_kernels_total", "kernel launches profiled")
+        dur_hist = histogram(
+            "profiler_kernel_duration_us",
+            "per-launch kernel duration (microseconds)",
+            buckets=KERNEL_DURATION_BUCKETS_US)
+        occ_hist = histogram(
+            "profiler_kernel_occupancy",
+            "per-kernel achieved occupancy", buckets=OCCUPANCY_BUCKETS)
 
-    launches = sum(r.count for r in result.records)
-    gaps = dispatches * FRAMEWORK_DISPATCH_S + launches * device.launch_overhead_s
-    result.busy_time_s = busy
-    result.wall_time_s = busy + gaps
-    return result
+        result = ProfileResult(model_name=graph.name,
+                               device_name=device.name)
+        busy = 0.0
+        dispatches = 0
+        for nid in graph.topological_order():
+            node = graph.nodes[nid]
+            with span("lower_node", node_id=nid, op=node.op_type):
+                kernels = lower_node(node, device)
+                if kernels:
+                    dispatches += 1
+                for kern in kernels:
+                    occ, theo = achieved_occupancy(
+                        device, kern.grid_blocks, kern.threads_per_block,
+                        kern.regs_per_thread, kern.smem_per_block)
+                    dur = _kernel_duration(kern, occ, device) * kern.count
+                    busy += dur
+                    kernels_total.inc(kern.count)
+                    dur_hist.observe(dur / kern.count * 1e6)
+                    occ_hist.observe(occ)
+                    result.records.append(KernelRecord(
+                        name=kern.name, node_id=nid, duration_s=dur,
+                        occupancy=occ,
+                        theoretical_occupancy=theo.occupancy,
+                        limiter=theo.limiter, flops=kern.flops * kern.count,
+                        bytes_moved=kern.bytes_moved * kern.count,
+                        count=kern.count))
+
+        launches = sum(r.count for r in result.records)
+        gaps = dispatches * FRAMEWORK_DISPATCH_S \
+            + launches * device.launch_overhead_s
+        result.busy_time_s = busy
+        result.wall_time_s = busy + gaps
+        return result
+
+
+def check_memory_or_raise(graph: ComputationGraph,
+                          device: DeviceSpec) -> None:
+    """Raise :class:`OutOfMemoryError` (naming the peak-liveness node)
+    when ``graph`` does not fit on ``device``; count the rejection."""
+    from .memory import peak_memory_breakdown
+    breakdown = peak_memory_breakdown(graph)
+    required = breakdown["total_bytes"]
+    if required <= device.mem_capacity_bytes:
+        return
+    counter("profiler_oom_total",
+            "profile attempts rejected by the memory model").inc()
+    culprit = ""
+    if breakdown["peak_node_id"] is not None:
+        culprit = (f" (peak at node {breakdown['peak_node_id']} "
+                   f"{breakdown['peak_op_type']})")
+    _log.warning("out of memory", extra={
+        "model": graph.name, "device": device.name,
+        "required_gib": round(required / 2**30, 2),
+        "peak_node_id": breakdown["peak_node_id"]})
+    raise OutOfMemoryError(
+        f"{graph.name}: needs {required / 2**30:.1f} GiB, device "
+        f"{device.name} has {device.mem_capacity_gb} GiB{culprit}")
 
 
 def estimate_memory_bytes(graph: ComputationGraph) -> int:

@@ -85,12 +85,22 @@ def profile_training_graph(graph: ComputationGraph, device: DeviceSpec,
     the weights).
     """
     if check_memory:
-        from .profiler import OutOfMemoryError, estimate_memory_bytes
-        required = 2 * estimate_memory_bytes(graph)
+        from ..obs.metrics import counter
+        from .memory import peak_memory_breakdown
+        from .profiler import OutOfMemoryError
+        breakdown = peak_memory_breakdown(graph)
+        required = 2 * breakdown["total_bytes"]
         if required > device.mem_capacity_bytes:
+            counter("profiler_oom_total",
+                    "profile attempts rejected by the memory model").inc()
+            culprit = ""
+            if breakdown["peak_node_id"] is not None:
+                culprit = (f" (peak at node {breakdown['peak_node_id']} "
+                           f"{breakdown['peak_op_type']})")
             raise OutOfMemoryError(
                 f"{graph.name}: training needs ~{required / 2**30:.1f} GiB,"
-                f" device {device.name} has {device.mem_capacity_gb} GiB")
+                f" device {device.name} has {device.mem_capacity_gb} GiB"
+                f"{culprit}")
 
     result = ProfileResult(model_name=f"{graph.name}_train",
                            device_name=device.name)

@@ -1,0 +1,90 @@
+"""Structured logging: stdlib ``logging`` with a key=value formatter.
+
+The reproduction logs through a single ``repro`` logger hierarchy.
+:func:`configure_logging` attaches one stderr handler whose
+:class:`KeyValueFormatter` renders ``ts= level= logger= msg=`` plus any
+extra fields passed via ``logger.info("...", extra={...})`` — the logfmt
+convention, trivially grep-able and machine-parseable without a JSON
+parser.  Reconfiguring replaces the handler rather than stacking
+duplicates, so tests and the CLI can call it repeatedly.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["KeyValueFormatter", "configure_logging", "get_logger",
+           "LOG_LEVELS"]
+
+LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+              "warning": logging.WARNING}
+
+#: attributes every LogRecord carries; anything else came from ``extra=``
+_RESERVED = set(logging.LogRecord("", 0, "", 0, "", (), None).__dict__) \
+    | {"message", "asctime", "taskName"}
+
+_HANDLER_TAG = "_repro_obs_handler"
+
+# Library default: silent until configure_logging() opts in.  Without
+# this, dataset generation's expected OOM-and-redraw loop would spam
+# stderr through logging's last-resort handler.
+_base_logger = logging.getLogger("repro")
+_base_logger.addHandler(logging.NullHandler())
+_base_logger.propagate = False
+
+
+def _quote(value) -> str:
+    text = str(value)
+    if " " in text or "=" in text or '"' in text or text == "":
+        return '"' + text.replace('"', r'\"') + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg=... key=value ...`` lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+    default_msec_format = "%s.%03d"
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={_quote(record.getMessage())}",
+        ]
+        for key in sorted(set(record.__dict__) - _RESERVED):
+            parts.append(f"{key}={_quote(record.__dict__[key])}")
+        if record.exc_info:
+            parts.append(f"exc={_quote(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def configure_logging(level: str = "warning",
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger; returns it.
+
+    ``level`` is one of ``debug`` / ``info`` / ``warning`` (the CLI's
+    ``--log-level`` choices).  Idempotent: a previously installed handler
+    is replaced, never duplicated.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {sorted(LOG_LEVELS)}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(LOG_LEVELS[level])
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (e.g. ``get_logger("gpu")``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")

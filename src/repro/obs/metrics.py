@@ -1,0 +1,308 @@
+"""Metrics primitives: Counter / Gauge / Histogram + a registry.
+
+Prometheus-shaped but dependency-free.  Instrumented code asks the module
+for a handle (:func:`counter` / :func:`gauge` / :func:`histogram`); with
+no registry installed — the default — the handle is a shared null metric
+whose methods do nothing, so hot paths pay one global read per *call
+site*, not per observation (handles are meant to be hoisted out of loops).
+
+Exposition formats:
+
+* :meth:`MetricsRegistry.to_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` / samples, cumulative ``_bucket`` series with
+  ``le`` labels) scrapable by an actual Prometheus server;
+* :meth:`MetricsRegistry.to_dict` — a JSON-friendly snapshot embedded in
+  Chrome trace files by the CLI's ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS", "counter", "gauge", "histogram",
+           "get_registry", "install_registry", "uninstall_registry"]
+
+#: Prometheus-style default histogram buckets (upper bounds).
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                   5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+def _label_string(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared name/description/labels plumbing."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, description: str = "",
+                 labels: dict[str, str] | None = None):
+        self.name = name
+        self.description = description
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+
+    def _label_str(self) -> str:
+        return _label_string(self.labels)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value (events, errors, seconds of work)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "",
+                 labels: dict[str, str] | None = None):
+        super().__init__(name, description, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [(self.name, self._label_str(), self.value)]
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge(_Metric):
+    """Value that can go up and down (loss, lr, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "",
+                 labels: dict[str, str] | None = None):
+        super().__init__(name, description, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [(self.name, self._label_str(), self.value)]
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram(_Metric):
+    """Distribution over fixed buckets (kernel durations, occupancies)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                 labels: dict[str, str] | None = None):
+        super().__init__(name, description, labels)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending tuple")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus ``le`` semantics: count of observations <= bound."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        base = dict(self.labels)
+        out = []
+        for bound, cum in zip(self.buckets, self.cumulative_counts()):
+            label_str = _label_string({**base, "le": _fmt(bound)})
+            out.append((f"{self.name}_bucket", label_str, float(cum)))
+        out.append((f"{self.name}_bucket",
+                    _label_string({**base, "le": "+Inf"}),
+                    float(self.count)))
+        out.append((f"{self.name}_sum", self._label_str(), self.sum))
+        out.append((f"{self.name}_count", self._label_str(),
+                    float(self.count)))
+        return out
+
+    def snapshot(self):
+        return {"count": self.count, "sum": self.sum,
+                "buckets": {_fmt(b): c for b, c in
+                            zip(self.buckets, self.bucket_counts)}}
+
+
+class _NullMetric:
+    """Accepts every metric method and does nothing (registry absent)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create store keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, description: str,
+                       labels: dict[str, str] | None, **kwargs) -> _Metric:
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, description, labels=labels, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}")
+            return metric
+
+    def counter(self, name: str, description: str = "",
+                **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, description,
+                                   labels or None)
+
+    def gauge(self, name: str, description: str = "",
+              **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, description, labels or None)
+
+    def histogram(self, name: str, description: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        return self._get_or_create(Histogram, name, description,
+                                   labels or None, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m._label_str())))
+
+    # -- exposition ------------------------------------------------------ #
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, version 0.0.4."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in self:
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.description:
+                    lines.append(f"# HELP {metric.name} "
+                                 f"{metric.description}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, label_str, value in metric.samples():
+                lines.append(f"{sample_name}{label_str} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot: name -> {kind, labels?, value}."""
+        out: dict[str, list] = {}
+        for metric in self:
+            entry = {"kind": metric.kind, "value": metric.snapshot()}
+            if metric.labels:
+                entry["labels"] = dict(metric.labels)
+            out.setdefault(metric.name, []).append(entry)
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# --------------------------------------------------------------------- #
+# Global registry: None by default (instrumentation degrades to no-ops).
+# --------------------------------------------------------------------- #
+_registry: MetricsRegistry | None = None
+
+
+def install_registry(registry: MetricsRegistry | None = None) \
+        -> MetricsRegistry:
+    global _registry
+    # explicit None test: an empty registry is falsy (len 0) but valid
+    _registry = registry if registry is not None else MetricsRegistry()
+    return _registry
+
+
+def uninstall_registry() -> None:
+    global _registry
+    _registry = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    return _registry
+
+
+def counter(name: str, description: str = "", **labels: str):
+    """Global-registry counter handle (null metric when obs is off)."""
+    reg = _registry
+    if reg is None:
+        return NULL_METRIC
+    return reg.counter(name, description, **labels)
+
+
+def gauge(name: str, description: str = "", **labels: str):
+    """Global-registry gauge handle (null metric when obs is off)."""
+    reg = _registry
+    if reg is None:
+        return NULL_METRIC
+    return reg.gauge(name, description, **labels)
+
+
+def histogram(name: str, description: str = "",
+              buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+              **labels: str):
+    """Global-registry histogram handle (null metric when obs is off)."""
+    reg = _registry
+    if reg is None:
+        return NULL_METRIC
+    return reg.histogram(name, description, buckets=buckets, **labels)

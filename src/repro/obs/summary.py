@@ -1,0 +1,146 @@
+"""Trace summarization: the terminal-side view of a saved Chrome trace.
+
+``repro obs trace.json`` needs answers without opening Perfetto: where
+did the time go (top spans by *self* time — duration minus time spent in
+child spans), and what did the metrics end with.  Works on any file in
+the Chrome trace-event format, including the kernel timelines written by
+``repro trace`` and the observability traces written by ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = ["SpanStat", "load_trace_file", "span_stats", "summarize_trace",
+           "format_metrics_table"]
+
+
+@dataclass
+class SpanStat:
+    """Aggregate over all events sharing one span name."""
+
+    name: str
+    count: int
+    total_us: float
+    self_us: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+def load_trace_file(path: str) -> dict:
+    """Read a Chrome trace file; accepts the object or bare-array form."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, list):  # bare traceEvents array is legal too
+        data = {"traceEvents": data}
+    if "traceEvents" not in data:
+        raise ValueError(f"{path}: not a Chrome trace-event file "
+                         "(no traceEvents key)")
+    return data
+
+
+def span_stats(trace: dict) -> list[SpanStat]:
+    """Per-name totals with self-time, sorted by self-time descending.
+
+    Self-time is computed per (pid, tid) lane with an interval-nesting
+    stack: an event is a child of the innermost open event that contains
+    it, and a parent's self-time excludes its direct children.
+    """
+    lanes: dict[tuple, list[dict]] = {}
+    for ev in trace.get("traceEvents", ()):
+        if ev.get("ph") != "X":
+            continue
+        lanes.setdefault((ev.get("pid", 0), ev.get("tid", 0)),
+                         []).append(ev)
+
+    totals: dict[str, SpanStat] = {}
+    for events in lanes.values():
+        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        # stack of (end_ts, child_duration_accumulator index into opened)
+        stack: list[dict] = []
+        child_dur: dict[int, float] = {}
+        for ev in events:
+            ts, dur = float(ev["ts"]), float(ev.get("dur", 0.0))
+            while stack and \
+                    float(stack[-1]["ts"]) + float(
+                        stack[-1].get("dur", 0.0)) <= ts:
+                stack.pop()
+            if stack:
+                child_dur[id(stack[-1])] = \
+                    child_dur.get(id(stack[-1]), 0.0) + dur
+            stack.append(ev)
+        for ev in events:
+            ts, dur = float(ev["ts"]), float(ev.get("dur", 0.0))
+            name = str(ev.get("name", "?"))
+            self_us = max(0.0, dur - child_dur.get(id(ev), 0.0))
+            stat = totals.get(name)
+            if stat is None:
+                totals[name] = SpanStat(name, 1, dur, self_us)
+            else:
+                stat.count += 1
+                stat.total_us += dur
+                stat.self_us += self_us
+    return sorted(totals.values(), key=lambda s: -s.self_us)
+
+
+def format_metrics_table(metrics: dict) -> str:
+    """Render a ``MetricsRegistry.to_dict`` snapshot as an aligned table."""
+    rows: list[tuple[str, str, str]] = []
+    for name in sorted(metrics):
+        for entry in metrics[name]:
+            labels = entry.get("labels") or {}
+            label_str = ",".join(f"{k}={v}"
+                                 for k, v in sorted(labels.items()))
+            shown = f"{name}{{{label_str}}}" if label_str else name
+            value = entry["value"]
+            if entry["kind"] == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] \
+                    else 0.0
+                text = (f"count={value['count']} sum={value['sum']:.6g} "
+                        f"mean={mean:.6g}")
+            else:
+                text = f"{value:.6g}"
+            rows.append((shown, entry["kind"], text))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(r[0]) for r in rows)
+    return "\n".join(f"  {name:<{width}s}  {kind:<9s}  {text}"
+                     for name, kind, text in rows)
+
+
+def summarize_trace(trace: dict, top: int = 15) -> str:
+    """Human-readable summary: header, top spans by self-time, metrics."""
+    events = [e for e in trace.get("traceEvents", ())
+              if e.get("ph") == "X"]
+    other = trace.get("otherData", {}) or {}
+    header_bits = [f"{len(events)} events"]
+    for key in ("model", "device"):
+        if key in other:
+            header_bits.append(f"{key}={other[key]}")
+    if events:
+        t_lo = min(float(e["ts"]) for e in events)
+        t_hi = max(float(e["ts"]) + float(e.get("dur", 0.0))
+                   for e in events)
+        header_bits.append(f"span {t_lo / 1e3:.3f}..{t_hi / 1e3:.3f} ms")
+    lines = ["trace: " + ", ".join(header_bits)]
+
+    stats = span_stats(trace)[:top]
+    if stats:
+        lines.append("")
+        lines.append(f"  {'span':<36s} {'count':>7s} {'total ms':>10s} "
+                     f"{'self ms':>10s} {'mean us':>10s}")
+        for s in stats:
+            lines.append(
+                f"  {s.name:<36.36s} {s.count:7d} "
+                f"{s.total_us / 1e3:10.3f} {s.self_us / 1e3:10.3f} "
+                f"{s.mean_us:10.1f}")
+
+    metrics = other.get("metrics")
+    if metrics:
+        lines.append("")
+        lines.append("metrics:")
+        lines.append(format_metrics_table(metrics))
+    return "\n".join(lines)

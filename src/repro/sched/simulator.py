@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs.metrics import counter, gauge
+from ..obs.tracing import span
 from .interference import InterferenceModel
 from .job import Job
 from .policies import PackingPolicy
@@ -140,42 +142,67 @@ def simulate(jobs: Sequence[Job], num_gpus: int, policy: PackingPolicy,
                     job.occupancy, others)
         return out
 
-    try_place()
-    while pending or any(running):
-        rate = rates()
-        # Next completion among running jobs.
-        dt_complete = min((job.remaining_s / rate[job.job_id]
-                           for residents in running for job in residents),
-                          default=float("inf"))
-        # Next arrival among pending jobs.
-        dt_arrival = min((job.arrival_s - now for job in pending
-                          if job.arrival_s > now + _EPS),
-                         default=float("inf"))
-        dt = min(dt_complete, dt_arrival)
-        if dt == float("inf"):
-            raise RuntimeError(
-                "deadlock: jobs pending but nothing runs or arrives "
-                "(a job may violate the policy even on an empty GPU)")
+    # Hoisted metric handles (no-ops when observability is off).
+    queue_gauge = gauge("sched_queue_depth", "jobs waiting for placement")
+    busy_counters = [
+        counter("sched_gpu_busy_seconds_total",
+                "simulated seconds each GPU had >= 1 resident job",
+                gpu=str(g))
+        for g in range(num_gpus)]
+    events_total = counter("sched_events_total",
+                           "simulator events processed")
 
-        # Integrate utilization during [now, now+dt).
-        for residents in running:
-            if residents:
-                busy_integral += dt
-                nvml_integral += dt * min(
-                    1.0, sum(j.nvml_utilization for j in residents))
-
-        # Advance.
-        now += dt
-        for residents in running:
-            for job in residents:
-                job.remaining_s -= dt * rate[job.job_id]
-        for gpu_id in range(num_gpus):
-            finished = [j for j in running[gpu_id] if j.remaining_s <= _EPS]
-            for job in finished:
-                job.finish_s = now
-                job.remaining_s = 0.0
-                running[gpu_id].remove(job)
+    with span("sched.simulate", policy=policy.name, gpus=num_gpus,
+              jobs=len(jobs), placement=placement):
         try_place()
+        queue_gauge.set(len(pending))
+        while pending or any(running):
+            with span("sched.event", t=round(now, 6)) as ev:
+                rate = rates()
+                # Next completion among running jobs.
+                dt_complete = min(
+                    (job.remaining_s / rate[job.job_id]
+                     for residents in running for job in residents),
+                    default=float("inf"))
+                # Next arrival among pending jobs.
+                dt_arrival = min((job.arrival_s - now for job in pending
+                                  if job.arrival_s > now + _EPS),
+                                 default=float("inf"))
+                dt = min(dt_complete, dt_arrival)
+                if dt == float("inf"):
+                    raise RuntimeError(
+                        "deadlock: jobs pending but nothing runs or "
+                        "arrives (a job may violate the policy even on "
+                        "an empty GPU)")
+
+                # Integrate utilization during [now, now+dt).
+                for gpu_id, residents in enumerate(running):
+                    if residents:
+                        busy_integral += dt
+                        busy_counters[gpu_id].inc(dt)
+                        nvml_integral += dt * min(
+                            1.0,
+                            sum(j.nvml_utilization for j in residents))
+
+                # Advance.
+                now += dt
+                for residents in running:
+                    for job in residents:
+                        job.remaining_s -= dt * rate[job.job_id]
+                finished_now = 0
+                for gpu_id in range(num_gpus):
+                    finished = [j for j in running[gpu_id]
+                                if j.remaining_s <= _EPS]
+                    for job in finished:
+                        job.finish_s = now
+                        job.remaining_s = 0.0
+                        running[gpu_id].remove(job)
+                    finished_now += len(finished)
+                try_place()
+                queue_gauge.set(len(pending))
+                events_total.inc()
+                ev.set_attr(dt=round(dt, 6), finished=finished_now,
+                            queued=len(pending))
 
     return ClusterResult(
         policy_name=policy.name, num_gpus=num_gpus, makespan_s=now,

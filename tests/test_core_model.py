@@ -86,8 +86,9 @@ class TestTrainer:
     def test_evaluate_keys(self, tiny_dataset):
         model = DNNOccu(DNNOccuConfig(hidden=16, num_heads=2))
         ev = Trainer(model).evaluate(tiny_dataset)
-        assert set(ev) == {"mre_percent", "mse"}
+        assert set(ev) == {"mre_percent", "mse", "fit_time_s"}
         assert ev["mse"] >= 0
+        assert ev["fit_time_s"] == 0.0  # evaluate before any fit
 
     def test_validation_history(self, tiny_dataset, rng):
         train, val = tiny_dataset.split(0.7, rng)
