@@ -16,6 +16,10 @@ pip install -e . 2>/dev/null || python setup.py develop
 echo "== syntax check (fail fast on any unparseable module) =="
 python -m compileall -q src
 
+echo "== static analysis: self-lint + every zoo model + registries =="
+python -m repro lint --self
+python -m repro lint --zoo --registries
+
 echo "== unit / integration / property tests =="
 python -m pytest tests/ -q | tee test_output.txt
 

@@ -7,7 +7,11 @@ Three subcommands mirror the system's three roles:
 * ``predict`` — train DNN-occu on a set of models and predict a target
   model's occupancy without profiling it;
 * ``schedule`` — run the Table VI packing-strategy comparison on a
-  simulated cluster.
+  simulated cluster;
+* ``lint`` — static diagnostics: graph-IR passes over zoo models or
+  serialized graphs, cross-registry coverage checks, and an AST
+  self-lint (``--self``).  Exit code 0 = clean, 1 = ERROR diagnostics,
+  2 = usage error.
 
 Observability: ``profile`` / ``schedule`` / ``trace`` accept
 ``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
@@ -21,6 +25,8 @@ Examples::
     python -m repro schedule --gpus 4 --jobs 24 --device P40
     python -m repro profile --model vit-t --trace-out t.json
     python -m repro obs t.json
+    python -m repro lint --zoo --registries
+    python -m repro lint --self --format json
 """
 
 from __future__ import annotations
@@ -106,6 +112,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "--trace-out or the trace subcommand)")
     p.add_argument("--top", type=int, default=15,
                    help="show the N spans with the most self-time")
+
+    p = sub.add_parser(
+        "lint", help="static diagnostics: graph IR, registries, sources")
+    p.add_argument("--model", action="append", choices=list_models(),
+                   metavar="NAME", help="lint one zoo model's graph "
+                   "(repeatable)")
+    p.add_argument("--zoo", action="store_true",
+                   help="lint every registered zoo model")
+    p.add_argument("--graph", action="append", metavar="PATH",
+                   help="lint a ComputationGraph JSON file (repeatable)")
+    p.add_argument("--registries", action="store_true",
+                   help="cross-registry coverage checks (builder / FLOPs / "
+                        "lowering / feature encoder)")
+    p.add_argument("--self", dest="self_lint", action="store_true",
+                   help="AST self-lint over the source tree")
+    p.add_argument("--path", action="append", metavar="PATH",
+                   help="file or directory for --self (repeatable; "
+                        "default: the installed repro package)")
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--device", default="A100",
+                   help="device context for feature-finiteness checks")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text report or SARIF-flavoured JSON")
 
     p = sub.add_parser("dataset", help="generate and save a profile dataset")
     p.add_argument("--models", nargs="+", required=True)
@@ -208,6 +239,46 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .graph import ComputationGraph
+    from .lint import LintReport, lint_graph, lint_model, lint_paths, \
+        lint_registries, lint_zoo
+
+    if not (args.model or args.zoo or args.graph or args.registries
+            or args.self_lint):
+        print("error: nothing to lint; pass --model/--zoo/--graph/"
+              "--registries/--self", file=sys.stderr)
+        return 2
+
+    device = get_device(args.device)
+    report = LintReport()
+    if args.zoo:
+        report.merge(lint_zoo(device=device, config=_config(args)))
+    for name in args.model or ():
+        report.merge(lint_model(name, config=_config(args), device=device))
+    for path in args.graph or ():
+        try:
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read graph file: {exc}", file=sys.stderr)
+            return 2
+        report.merge(lint_graph(ComputationGraph.from_json(text),
+                                device=device))
+    if args.registries:
+        report.merge(lint_registries())
+    if args.self_lint:
+        default_root = pathlib.Path(__file__).resolve().parent
+        report.merge(lint_paths(args.path or [str(default_root)]))
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code()
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .data import save_dataset
     devices = [get_device(d) for d in args.devices]
@@ -225,7 +296,8 @@ def main(argv: list[str] | None = None) -> int:
         obs.configure_logging(args.log_level)
     handler = {"profile": _cmd_profile, "predict": _cmd_predict,
                "schedule": _cmd_schedule, "trace": _cmd_trace,
-               "obs": _cmd_obs, "dataset": _cmd_dataset}[args.command]
+               "obs": _cmd_obs, "dataset": _cmd_dataset,
+               "lint": _cmd_lint}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

@@ -43,6 +43,9 @@ class TrainConfig:
     lr_decay: str = "none"      # "none" | "cosine"
     lr_min: float = 1e-5
     patience: int | None = None
+    #: lint every sample's features/label before the first epoch and
+    #: fail fast on non-finite values or out-of-range labels
+    preflight: bool = True
 
 
 @dataclass
@@ -74,6 +77,28 @@ class Trainer:
                               weight_decay=self.config.weight_decay)
         self.history = TrainHistory()
 
+    @staticmethod
+    def _preflight(train: Dataset, val: Dataset | None) -> None:
+        """Lint every sample before touching the optimizer.
+
+        One non-finite feature (F001) or out-of-range label (F002)
+        silently poisons every weight it backpropagates through, so the
+        whole run is rejected up front; rejections are counted as
+        ``lint_preflight_failures_total{gate="trainer"}``.
+        """
+        # Imported lazily: repro.lint reaches the gpu package, which the
+        # tensor/core layers must not depend on at import time.
+        from ..lint import preflight_features
+        with span("trainer.preflight"):
+            for name, ds in (("train", train), ("val", val)):
+                if ds is None:
+                    continue
+                for i in range(len(ds)):
+                    sample = ds[i]
+                    preflight_features(
+                        sample.features, label=sample.occupancy,
+                        origin=f"{name}[{i}]:{sample.model_name}")
+
     def fit(self, train: Dataset, val: Dataset | None = None) -> TrainHistory:
         """Train for ``config.epochs``; returns the loss history."""
         if len(train) == 0:
@@ -83,6 +108,8 @@ class Trainer:
             raise ValueError(f"unknown lr_decay {cfg.lr_decay!r}")
         if cfg.patience is not None and (val is None or len(val) == 0):
             raise ValueError("early stopping requires a validation set")
+        if cfg.preflight:
+            self._preflight(train, val)
         rng = np.random.default_rng(cfg.seed)
         self.model.train()
         best_val = np.inf
@@ -181,7 +208,7 @@ def fit_best_of(factory, train: Dataset, config: TrainConfig,
             epochs=config.epochs, batch_size=config.batch_size,
             grad_clip=config.grad_clip, seed=config.seed + k,
             lr_decay=config.lr_decay, lr_min=config.lr_min,
-            patience=config.patience)
+            patience=config.patience, preflight=config.preflight)
         trainer = Trainer(factory(cfg.seed), cfg)
         hist = trainer.fit(train, val=val)
         score = (trainer.evaluate(val)["mse"] if val is not None

@@ -31,7 +31,8 @@ from ..graph import (ComputationGraph, DataEdge, OP_TYPES, OpNode,
 from ..gpu import DeviceSpec
 
 __all__ = ["GraphFeatures", "encode_graph", "encode_node", "encode_edge",
-           "node_feature_dim", "edge_feature_dim"]
+           "node_feature_dim", "edge_feature_dim", "feature_blocks",
+           "zero_feature_block", "ENCODED_ATTRS", "UNENCODED_ATTRS"]
 
 #: log1p(x) / _LOG_SCALE keeps even exa-scale magnitudes within ~[0, 1.5]
 _LOG_SCALE = 28.0
@@ -44,6 +45,33 @@ _HPARAM_SLOTS = (
 )
 
 _EDGE_TYPES = ("forward", "backward")
+
+#: operator attributes :func:`encode_node` maps into ``_HPARAM_SLOTS``
+ENCODED_ATTRS = frozenset({
+    "kernel_size", "stride", "padding", "groups", "in_channels",
+    "out_channels", "in_features", "out_features", "hidden_size",
+    "seq_len", "batch", "embed_dim", "axis",
+})
+
+#: schema attributes deliberately left without a feature slot.  Each is
+#: redundant with information the encoder already captures (shapes, sizes,
+#: FLOPs) or is pure bookkeeping; the cross-registry pass R006 flags any
+#: schema attribute in neither set, so this list is the single place such
+#: exemptions are argued.
+UNENCODED_ATTRS = frozenset({
+    "output_size",        # equals the recorded output spatial dims
+    "num_features",       # equals the channel dim of the output shape
+    "normalized_shape",   # equals the last output dim
+    "reduce_dim",         # captured by input shapes + FLOPs
+    "start_dim",          # view bookkeeping; shapes carry the effect
+    "axes",               # permutation bookkeeping; shapes carry it
+    "vocab_size",         # weight-table size; FLOPs/temp capture cost
+    "input_size",         # equals the recurrent input's last dim
+    "num_layers",         # folded into the FLOPs formula
+    "sections",           # split bookkeeping; output shape carries it
+    "index",              # split chunk index; cost-irrelevant
+    "exponent",           # elementwise cost is exponent-independent here
+})
 
 
 def _log_scale(x: float) -> float:

@@ -30,7 +30,24 @@ from math import ceil
 from ..graph import DTYPE_BYTES, OpNode, tensor_numel
 from .device import DeviceSpec
 
-__all__ = ["KernelLaunch", "lower_node", "GemmShape"]
+__all__ = ["KernelLaunch", "lower_node", "GemmShape", "LOWERABLE_OPS"]
+
+#: op types :func:`lower_node` can lower.  This registry is load-bearing:
+#: ``lower_node`` rejects anything outside it up front, and the
+#: cross-registry coverage pass (``repro lint --registries``, code R003)
+#: checks it covers all of ``OP_TYPES`` — so an operator added to the
+#: vocabulary without a lowering fails the lint gate, not a profile run.
+LOWERABLE_OPS: frozenset[str] = frozenset({
+    "Input",
+    "Conv2d", "DepthwiseConv2d", "Gemm", "MatMul",
+    "ReLU", "ReLU6", "GELU", "SiLU", "Sigmoid", "Tanh", "Add", "Mul",
+    "Div", "Scale", "Erf", "Identity", "Pow", "Sqrt", "Shift",
+    "PatchMerge", "Pad",
+    "Concat", "Split", "Slice", "Flatten", "Reshape", "Transpose",
+    "BatchNorm2d", "LayerNorm", "GroupNorm", "Softmax", "ReduceMean",
+    "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "GlobalAvgPool",
+    "Embedding", "LSTM", "RNN",
+})
 
 
 @dataclass(frozen=True)
@@ -147,6 +164,8 @@ def lower_node(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:
     """
     op = node.op_type
     attrs = node.attrs
+    if op not in LOWERABLE_OPS:
+        raise KeyError(f"no kernel lowering for operator {op!r}")
 
     if op == "Input":
         return []
@@ -214,7 +233,9 @@ def lower_node(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:
     if op in ("LSTM", "RNN"):
         return _lower_recurrent(node, device)
 
-    raise KeyError(f"no kernel lowering for operator {op!r}")
+    raise RuntimeError(  # pragma: no cover - registry/dispatch drift
+        f"operator {op!r} is in LOWERABLE_OPS but no dispatch branch "
+        f"handles it")
 
 
 def _lower_conv(node: OpNode, device: DeviceSpec) -> list[KernelLaunch]:

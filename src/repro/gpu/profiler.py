@@ -172,14 +172,25 @@ def _kernel_duration(kern: KernelLaunch, occ: float,
 
 
 def profile_graph(graph: ComputationGraph, device: DeviceSpec,
-                  check_memory: bool = True) -> ProfileResult:
+                  check_memory: bool = True,
+                  preflight: bool = True) -> ProfileResult:
     """Simulate one inference iteration of ``graph`` on ``device``.
 
     Raises :class:`OutOfMemoryError` when the working set exceeds device
     memory (mirrors the paper's dataset generation, which scaled batch
-    sizes up until OOM).
+    sizes up until OOM).  With ``preflight`` (the default) the structural
+    lint passes run first and a :class:`~repro.lint.LintError` is raised
+    on any ERROR diagnostic — a malformed graph is rejected statically
+    instead of producing corrupt kernel records; rejections are counted
+    as ``lint_preflight_failures_total{gate="profiler"}``.
     """
     with span("profile_graph", model=graph.name, device=device.name):
+        if preflight:
+            # Imported lazily: repro.lint pulls in the feature encoder,
+            # which imports this package.
+            from ..lint import preflight_graph
+            with span("lint_preflight", model=graph.name):
+                preflight_graph(graph, device=device)
         if check_memory:
             check_memory_or_raise(graph, device)
 

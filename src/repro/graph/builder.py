@@ -15,7 +15,29 @@ from .flops import op_flops, op_temp_bytes
 from .graph import ComputationGraph
 from .node import DataEdge, OpNode
 
-__all__ = ["GraphBuilder", "TensorRef"]
+__all__ = ["GraphBuilder", "TensorRef", "builder_emitted_ops",
+           "EMITTER_METHODS"]
+
+#: op type -> name of the :class:`GraphBuilder` method that emits it.
+#: Populated by the ``@_emits`` decorator; the cross-registry coverage
+#: pass (``repro lint --registries``, code R001) checks every entry of
+#: ``OP_TYPES`` appears here, so the builder cannot silently lag the
+#: operator vocabulary.
+EMITTER_METHODS: dict[str, str] = {}
+
+
+def _emits(*op_types: str):
+    """Declare which op types a builder method can emit."""
+    def deco(fn):
+        for op in op_types:
+            EMITTER_METHODS.setdefault(op, fn.__name__)
+        return fn
+    return deco
+
+
+def builder_emitted_ops() -> frozenset[str]:
+    """Every op type some :class:`GraphBuilder` method emits."""
+    return frozenset(EMITTER_METHODS)
 
 
 @dataclass(frozen=True)
@@ -89,12 +111,14 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     # Sources
     # ------------------------------------------------------------------ #
+    @_emits("Input")
     def input(self, shape: Sequence[int], name: str = "input") -> TensorRef:
         return self._emit("Input", [], tuple(shape), name=name)
 
     # ------------------------------------------------------------------ #
     # Convolutions & pooling (NCHW)
     # ------------------------------------------------------------------ #
+    @_emits("Conv2d", "DepthwiseConv2d")
     def conv2d(self, x: TensorRef, out_channels: int, kernel_size,
                stride=1, padding=0, groups: int = 1,
                name: str = "") -> TensorRef:
@@ -112,10 +136,12 @@ class GraphBuilder:
                  "padding": (ph, pw), "groups": groups}
         return self._emit(op, [x], (n, out_channels, p, q), attrs, name)
 
+    @_emits("MaxPool2d")
     def maxpool2d(self, x: TensorRef, kernel_size, stride=None,
                   padding=0) -> TensorRef:
         return self._pool("MaxPool2d", x, kernel_size, stride, padding)
 
+    @_emits("AvgPool2d")
     def avgpool2d(self, x: TensorRef, kernel_size, stride=None,
                   padding=0) -> TensorRef:
         return self._pool("AvgPool2d", x, kernel_size, stride, padding)
@@ -132,10 +158,12 @@ class GraphBuilder:
                  "padding": (ph, pw)}
         return self._emit(op, [x], (n, c, p, q), attrs)
 
+    @_emits("GlobalAvgPool")
     def global_avgpool(self, x: TensorRef) -> TensorRef:
         n, c = x.shape[0], x.shape[1]
         return self._emit("GlobalAvgPool", [x], (n, c, 1, 1))
 
+    @_emits("AdaptiveAvgPool2d")
     def adaptive_avgpool(self, x: TensorRef, out_hw) -> TensorRef:
         n, c = x.shape[0], x.shape[1]
         oh, ow = _pair(out_hw)
@@ -145,38 +173,70 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     # Normalization & activations
     # ------------------------------------------------------------------ #
+    @_emits("BatchNorm2d")
     def batchnorm2d(self, x: TensorRef) -> TensorRef:
         return self._emit("BatchNorm2d", [x], x.shape,
                           {"num_features": x.shape[1]})
 
+    @_emits("LayerNorm")
     def layernorm(self, x: TensorRef) -> TensorRef:
         return self._emit("LayerNorm", [x], x.shape,
                           {"normalized_shape": x.shape[-1]})
 
+    @_emits("GroupNorm")
     def groupnorm(self, x: TensorRef, groups: int) -> TensorRef:
         return self._emit("GroupNorm", [x], x.shape, {"groups": groups})
 
+    @_emits("ReLU")
     def relu(self, x: TensorRef) -> TensorRef:
         return self._emit("ReLU", [x], x.shape)
 
+    @_emits("ReLU6")
+    def relu6(self, x: TensorRef) -> TensorRef:
+        return self._emit("ReLU6", [x], x.shape)
+
+    @_emits("Erf")
+    def erf(self, x: TensorRef) -> TensorRef:
+        """Exact-GELU error function (the tanh-free formulation)."""
+        return self._emit("Erf", [x], x.shape)
+
+    @_emits("Identity")
+    def identity(self, x: TensorRef) -> TensorRef:
+        """Pass-through (a residual branch's no-op projection)."""
+        return self._emit("Identity", [x], x.shape)
+
+    @_emits("Sqrt")
+    def sqrt(self, x: TensorRef) -> TensorRef:
+        return self._emit("Sqrt", [x], x.shape)
+
+    @_emits("Pow")
+    def pow(self, x: TensorRef, exponent: float = 2.0) -> TensorRef:
+        return self._emit("Pow", [x], x.shape, {"exponent": exponent})
+
+    @_emits("GELU")
     def gelu(self, x: TensorRef) -> TensorRef:
         return self._emit("GELU", [x], x.shape)
 
+    @_emits("SiLU")
     def silu(self, x: TensorRef) -> TensorRef:
         return self._emit("SiLU", [x], x.shape)
 
+    @_emits("Sigmoid")
     def sigmoid(self, x: TensorRef) -> TensorRef:
         return self._emit("Sigmoid", [x], x.shape)
 
+    @_emits("Tanh")
     def tanh(self, x: TensorRef) -> TensorRef:
         return self._emit("Tanh", [x], x.shape)
 
+    @_emits("Softmax")
     def softmax(self, x: TensorRef, axis: int = -1) -> TensorRef:
         return self._emit("Softmax", [x], x.shape, {"axis": axis})
 
     # ------------------------------------------------------------------ #
     # Linear algebra
     # ------------------------------------------------------------------ #
+    @_emits("Gemm")
     def linear(self, x: TensorRef, out_features: int,
                name: str = "") -> TensorRef:
         in_features = x.shape[-1]
@@ -184,6 +244,7 @@ class GraphBuilder:
         attrs = {"in_features": in_features, "out_features": out_features}
         return self._emit("Gemm", [x], out_shape, attrs, name)
 
+    @_emits("MatMul")
     def matmul(self, a: TensorRef, b: TensorRef) -> TensorRef:
         if a.shape[-1] != b.shape[-2]:
             raise ValueError(f"matmul shape mismatch {a.shape} @ {b.shape}")
@@ -195,19 +256,29 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     # Elementwise combiners & shape ops
     # ------------------------------------------------------------------ #
+    @_emits("Add")
     def add(self, a: TensorRef, b: TensorRef) -> TensorRef:
         if a.shape != b.shape:
             raise ValueError(f"add shape mismatch {a.shape} vs {b.shape}")
         return self._emit("Add", [a, b], a.shape)
 
+    @_emits("Mul")
     def mul(self, a: TensorRef, b: TensorRef) -> TensorRef:
         if a.shape != b.shape:
             raise ValueError(f"mul shape mismatch {a.shape} vs {b.shape}")
         return self._emit("Mul", [a, b], a.shape)
 
+    @_emits("Div")
+    def div(self, a: TensorRef, b: TensorRef) -> TensorRef:
+        if a.shape != b.shape:
+            raise ValueError(f"div shape mismatch {a.shape} vs {b.shape}")
+        return self._emit("Div", [a, b], a.shape)
+
+    @_emits("Scale")
     def scale(self, x: TensorRef) -> TensorRef:
         return self._emit("Scale", [x], x.shape)
 
+    @_emits("Concat")
     def concat(self, xs: Sequence[TensorRef], axis: int) -> TensorRef:
         base = list(xs[0].shape)
         for x in xs[1:]:
@@ -217,6 +288,7 @@ class GraphBuilder:
             base[axis] += x.shape[axis]
         return self._emit("Concat", list(xs), tuple(base), {"axis": axis})
 
+    @_emits("Flatten")
     def flatten(self, x: TensorRef, start_dim: int = 1) -> TensorRef:
         keep = x.shape[:start_dim]
         rest = 1
@@ -225,24 +297,66 @@ class GraphBuilder:
         return self._emit("Flatten", [x], keep + (rest,),
                           {"start_dim": start_dim})
 
+    @_emits("Reshape")
     def reshape(self, x: TensorRef, shape: Sequence[int]) -> TensorRef:
         shape = tuple(int(s) for s in shape)
         if x.numel != TensorRef(-1, shape).numel:
             raise ValueError(f"reshape {x.shape} -> {shape} changes numel")
         return self._emit("Reshape", [x], shape)
 
+    @_emits("Transpose")
     def transpose(self, x: TensorRef, axes: Sequence[int]) -> TensorRef:
         out = tuple(x.shape[a] for a in axes)
         return self._emit("Transpose", [x], out, {"axes": tuple(axes)})
 
+    @_emits("Slice")
     def slice(self, x: TensorRef, out_shape: Sequence[int]) -> TensorRef:
         return self._emit("Slice", [x], tuple(out_shape))
 
+    @_emits("Split")
+    def split(self, x: TensorRef, sections: int,
+              axis: int) -> list[TensorRef]:
+        """Split ``x`` into ``sections`` equal chunks along ``axis``.
+
+        The IR is single-output, so a split lowers to one ``Split`` node
+        per chunk, each consuming ``x`` (mirroring how multi-output ONNX
+        ops are commonly normalized).
+        """
+        rank = len(x.shape)
+        ax = axis % rank
+        if x.shape[ax] % sections != 0:
+            raise ValueError(
+                f"axis {ax} extent {x.shape[ax]} not divisible into "
+                f"{sections} sections")
+        out = list(x.shape)
+        out[ax] //= sections
+        return [self._emit("Split", [x], tuple(out),
+                           {"axis": ax, "sections": sections, "index": i})
+                for i in range(sections)]
+
+    @_emits("Pad")
+    def pad(self, x: TensorRef, padding) -> TensorRef:
+        """Zero-pad the spatial dims of an NCHW tensor."""
+        n, c, h, w = x.shape
+        ph, pw = _pair(padding)
+        return self._emit("Pad", [x], (n, c, h + 2 * ph, w + 2 * pw),
+                          {"padding": (ph, pw)})
+
+    @_emits("PatchMerge")
+    def patch_merge(self, x: TensorRef) -> TensorRef:
+        """Swin-style 2x2 patch merge: (N, L, C) -> (N, L/4, 4C)."""
+        n, l, c = x.shape
+        if l % 4 != 0:
+            raise ValueError(f"token count {l} not divisible by 4")
+        return self._emit("PatchMerge", [x], (n, l // 4, 4 * c))
+
+    @_emits("ReduceMean")
     def reduce_mean(self, x: TensorRef, axis: int) -> TensorRef:
         shape = list(x.shape)
         del shape[axis % len(shape)]
         return self._emit("ReduceMean", [x], tuple(shape), {"axis": axis})
 
+    @_emits("Shift")
     def shift_window(self, x: TensorRef) -> TensorRef:
         """Swin-style cyclic shift (data movement only)."""
         return self._emit("Shift", [x], x.shape)
@@ -250,12 +364,14 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     # Sequence operators
     # ------------------------------------------------------------------ #
+    @_emits("Embedding")
     def embedding(self, x: TensorRef, vocab_size: int,
                   embed_dim: int) -> TensorRef:
         out_shape = x.shape + (embed_dim,)
         return self._emit("Embedding", [x], out_shape,
                           {"vocab_size": vocab_size, "embed_dim": embed_dim})
 
+    @_emits("LSTM")
     def lstm(self, x: TensorRef, hidden_size: int,
              num_layers: int = 1) -> TensorRef:
         batch, seq, inp = x.shape
@@ -263,6 +379,7 @@ class GraphBuilder:
                  "hidden_size": hidden_size, "num_layers": num_layers}
         return self._emit("LSTM", [x], (batch, seq, hidden_size), attrs)
 
+    @_emits("RNN")
     def rnn(self, x: TensorRef, hidden_size: int,
             num_layers: int = 1) -> TensorRef:
         batch, seq, inp = x.shape

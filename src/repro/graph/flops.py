@@ -15,7 +15,8 @@ from typing import Any, Callable
 
 from .node import tensor_numel
 
-__all__ = ["op_flops", "op_temp_bytes", "OP_TYPES", "op_type_index"]
+__all__ = ["op_flops", "op_temp_bytes", "OP_TYPES", "op_type_index",
+           "flops_rule_ops", "has_flops_rule"]
 
 
 def _conv2d(attrs: dict[str, Any], inputs, output) -> int:
@@ -161,6 +162,16 @@ _OP_INDEX = {op: i for i, op in enumerate(OP_TYPES)}
 def op_type_index(op_type: str) -> int:
     """Index of ``op_type`` in the canonical one-hot ordering."""
     return _OP_INDEX[op_type]
+
+
+def flops_rule_ops() -> frozenset[str]:
+    """Every op type with a registered FLOPs formula."""
+    return frozenset(_FLOPS)
+
+
+def has_flops_rule(op_type: str) -> bool:
+    """True when ``op_type`` has a registered FLOPs formula."""
+    return op_type in _FLOPS
 
 
 def op_flops(op_type: str, attrs: dict[str, Any],

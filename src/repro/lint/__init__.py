@@ -1,0 +1,48 @@
+"""Static analysis for the occupancy-prediction pipeline.
+
+The predictor's features and labels are only as good as the graph IR they
+are derived from, and four layers (builder, FLOPs formulas, kernel
+lowering, feature encoder) each interpret the shared ``OP_TYPES``
+vocabulary independently.  This package makes the consistency of all of
+that checkable *statically* — before profiling or training spends compute
+on a malformed graph:
+
+* graph passes (``G0xx``) re-verify a :class:`~repro.graph.
+  ComputationGraph` without executing it;
+* registry passes (``R0xx``) assert cross-layer operator coverage;
+* source passes (``S0xx``) enforce repo conventions over ``src/repro``
+  via the stdlib AST;
+* pre-flight gates (``F0xx``) fail fast in the profiler and trainer.
+
+Entry points: the ``repro lint`` CLI subcommand, the :func:`lint_graph` /
+:func:`lint_registries` / :func:`lint_paths` APIs, and the
+:func:`preflight_graph` / :func:`preflight_features` gates wired into
+:mod:`repro.gpu.profiler` and :mod:`repro.core.trainer`.  Diagnostic
+codes are documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import CODE_TABLE, Diagnostic, LintReport, Severity
+from .manager import (GraphContext, LintPass, PassManager, SourceContext,
+                      default_manager)
+from .graph_passes import GRAPH_PASSES
+from .registry_passes import REGISTRY_PASSES
+from .source_passes import SOURCE_PASSES
+from .runner import (LintError, lint_graph, lint_model, lint_paths,
+                     lint_registries, lint_zoo, preflight_features,
+                     preflight_graph)
+from .schema import HPARAM_SCHEMAS, check_attrs
+from .shapes import SHAPE_RULES, ShapeRuleViolation, infer_output_shape
+
+__all__ = [
+    "Diagnostic", "Severity", "LintReport", "CODE_TABLE",
+    "LintPass", "PassManager", "GraphContext", "SourceContext",
+    "default_manager",
+    "GRAPH_PASSES", "REGISTRY_PASSES", "SOURCE_PASSES",
+    "LintError", "lint_graph", "lint_model", "lint_zoo",
+    "lint_registries", "lint_paths", "preflight_graph",
+    "preflight_features",
+    "HPARAM_SCHEMAS", "check_attrs",
+    "SHAPE_RULES", "ShapeRuleViolation", "infer_output_shape",
+]

@@ -1,0 +1,213 @@
+"""Diagnostic records and reports for the static-analysis subsystem.
+
+Every lint pass emits :class:`Diagnostic` values with a *stable* code
+(``G001``, ``R003``, ``S001``, ...) so CI gates, tests, and docs can refer
+to findings without string-matching messages.  A :class:`LintReport`
+aggregates the diagnostics of one lint run and knows how to render itself
+as human-readable text or as a SARIF-flavoured JSON document (the format
+``repro lint --format json`` prints).
+
+The full code table, with severity policy and fix guidance, lives in
+``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "CODE_TABLE"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering allows ``>=`` threshold filtering."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {label!r}; "
+                             f"known: {[s.label for s in cls]}")
+
+
+#: every stable diagnostic code with its one-line meaning.  The registry
+#: pass suite and ``docs/static_analysis.md`` are checked against this
+#: table, so adding a pass means adding its codes here first.
+CODE_TABLE: dict[str, str] = {
+    # graph-level passes (run on a ComputationGraph without executing it)
+    "G001": "dangling edge: edge endpoint references a missing node id",
+    "G002": "self-loop: edge whose source and destination coincide",
+    "G003": "cycle: the graph is not a DAG",
+    "G004": "unknown op type: node op_type absent from OP_TYPES",
+    "G005": "shape mismatch: recorded output shape disagrees with "
+            "re-inference from inputs and attributes",
+    "G006": "edge shape mismatch: edge tensor shape disagrees with the "
+            "producer's recorded output shape",
+    "G007": "negative cost: node FLOPs or workspace bytes below zero",
+    "G008": "cost overflow: node FLOPs exceed the 2^62 sanity bound",
+    "G009": "FLOPs drift: recorded FLOPs disagree with the registered "
+            "formula (expected for fused graphs, suspicious elsewhere)",
+    "G010": "hyperparameter schema violation for the node's op type",
+    "G011": "non-finite feature: encoded node/edge features contain "
+            "NaN or Inf",
+    "G012": "orphan node: non-Input node with no incoming edge",
+    # cross-registry coverage passes (no graph needed)
+    "R001": "op type has no GraphBuilder emitter",
+    "R002": "op type has no FLOPs rule",
+    "R003": "op type has no kernel lowering registration",
+    "R004": "op type has no feature-encoder one-hot slot",
+    "R005": "registration for an op type outside OP_TYPES",
+    "R006": "schema attribute with neither a feature slot nor an "
+            "explicit unencoded exemption",
+    # AST self-lint passes (repo source conventions)
+    "S000": "source file fails to parse",
+    "S001": "bare `except:` clause",
+    "S002": "float equality (`==`/`!=`) on an occupancy value",
+    "S003": "module missing `__all__`",
+    # feature/label pre-flight (trainer fail-fast)
+    "F001": "non-finite value in an encoded feature matrix",
+    "F002": "occupancy label outside [0, 1]",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``target`` names what was linted (graph name, registry, or file path);
+    the optional location fields narrow it down to a node, edge, or source
+    line.  ``fix_hint`` is a short imperative suggestion.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    target: str = ""
+    pass_name: str = ""
+    node_id: int | None = None
+    edge: tuple[int, int] | None = None
+    file: str = ""
+    line: int | None = None
+    fix_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODE_TABLE:
+            raise ValueError(f"undocumented diagnostic code {self.code!r}; "
+                             f"add it to CODE_TABLE first")
+
+    def location(self) -> str:
+        """Human-readable location suffix (may be empty)."""
+        if self.file:
+            return f"{self.file}:{self.line}" if self.line else self.file
+        if self.edge is not None:
+            return f"edge {self.edge[0]}->{self.edge[1]}"
+        if self.node_id is not None:
+            return f"node {self.node_id}"
+        return ""
+
+    def format(self) -> str:
+        loc = self.location()
+        where = f"{self.target}" + (f" ({loc})" if loc else "")
+        hint = f"  [fix: {self.fix_hint}]" if self.fix_hint else ""
+        return (f"{self.code} {self.severity.label:<7s} {where}: "
+                f"{self.message}{hint}")
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "target": self.target,
+            "pass": self.pass_name,
+        }
+        if self.node_id is not None:
+            d["node_id"] = self.node_id
+        if self.edge is not None:
+            d["edge"] = list(self.edge)
+        if self.file:
+            d["file"] = self.file
+        if self.line is not None:
+            d["line"] = self.line
+        if self.fix_hint:
+            d["fix_hint"] = self.fix_hint
+        return d
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run (possibly over many targets)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: how many targets (graphs / files / registries) were examined
+    targets_checked: int = 0
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.targets_checked += other.targets_checked
+        return self
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity >= Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was emitted."""
+        return not self.errors()
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostic of any severity was emitted."""
+        return not self.diagnostics
+
+    def counts(self) -> dict[str, int]:
+        out = {s.label: 0 for s in Severity}
+        for d in self.diagnostics:
+            out[d.severity.label] += 1
+        return out
+
+    def exit_code(self) -> int:
+        """The ``repro lint`` process exit code: 1 on errors, else 0."""
+        return 1 if self.errors() else 0
+
+    def format_text(self, min_severity: Severity = Severity.INFO) -> str:
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        lines = [d.format() for d in
+                 sorted(shown, key=lambda d: (-d.severity, d.code,
+                                              d.target))]
+        c = self.counts()
+        lines.append(
+            f"{self.targets_checked} target(s) checked: "
+            f"{c['error']} error(s), {c['warning']} warning(s), "
+            f"{c['info']} info")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """SARIF-flavoured JSON document."""
+        return {
+            "version": "1.0",
+            "tool": {"name": "repro-lint"},
+            "targets_checked": self.targets_checked,
+            "summary": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,335 @@
+"""Graph-level lint passes (codes ``G001``–``G012``).
+
+These re-verify a :class:`~repro.graph.ComputationGraph` *without
+executing it* and deliberately do not trust any cached state: adjacency
+is rebuilt from ``graph.edges``, shapes are re-inferred from inputs and
+attributes, FLOPs are recomputed from the registered formulas.  That is
+what lets the passes catch corruption that slipped past construction-time
+checks — deserialized graphs, hand-mutated fixtures, or drift between the
+builder and the FLOPs/feature layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import OP_TYPES, op_flops
+from .diagnostics import Diagnostic, Severity
+from .manager import GraphContext, LintPass
+from .schema import check_attrs
+from .shapes import ShapeRuleViolation, infer_output_shape
+
+__all__ = ["StructuralPass", "OpTypePass", "ShapeInferencePass",
+           "EdgeShapePass", "FlopsPass", "SchemaPass",
+           "FeatureFinitenessPass", "GRAPH_PASSES"]
+
+#: FLOPs beyond this are treated as overflow (no single operator of any
+#: Table II configuration comes within orders of magnitude of 2^62)
+FLOPS_OVERFLOW_BOUND = 2 ** 62
+
+
+class StructuralPass(LintPass):
+    """G001 dangling edges, G002 self-loops, G003 cycles, G012 orphans.
+
+    Goes beyond :meth:`ComputationGraph.validate` by rebuilding adjacency
+    from the edge list itself, so graphs whose cached adjacency is stale
+    (e.g. edges appended directly by a transform) are still checked.
+    """
+
+    name = "structure"
+    family = "graph"
+    codes = ("G001", "G002", "G003", "G012")
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        well_formed: list = []  # edges usable for cycle/orphan analysis
+        for e in g.edges:
+            missing = [nid for nid in (e.src, e.dst) if nid not in g.nodes]
+            if missing:
+                diags.append(Diagnostic(
+                    code="G001", severity=Severity.ERROR,
+                    message=f"edge references missing node id(s) "
+                            f"{missing}",
+                    target=g.name, pass_name=self.name,
+                    edge=(e.src, e.dst),
+                    fix_hint="drop the edge or add the missing node"))
+                continue
+            if e.src == e.dst:
+                diags.append(Diagnostic(
+                    code="G002", severity=Severity.ERROR,
+                    message=f"self-loop at node {e.src}",
+                    target=g.name, pass_name=self.name,
+                    edge=(e.src, e.dst),
+                    fix_hint="remove the self-loop"))
+                continue
+            well_formed.append(e)
+
+        # Kahn's algorithm over the rebuilt adjacency (duplicate edges
+        # collapse: a parallel edge is not a cycle).
+        succ: dict[int, set[int]] = {nid: set() for nid in g.nodes}
+        indeg: dict[int, int] = {nid: 0 for nid in g.nodes}
+        for e in well_formed:
+            if e.dst not in succ[e.src]:
+                succ[e.src].add(e.dst)
+                indeg[e.dst] += 1
+        ready = [nid for nid, d in indeg.items() if d == 0]
+        seen = 0
+        while ready:
+            nid = ready.pop()
+            seen += 1
+            for s in succ[nid]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if seen != len(g.nodes):
+            stuck = sorted(nid for nid, d in indeg.items() if d > 0)
+            diags.append(Diagnostic(
+                code="G003", severity=Severity.ERROR,
+                message=f"graph contains a cycle through node(s) {stuck}",
+                target=g.name, pass_name=self.name,
+                fix_hint="break the cycle; computation graphs must be "
+                         "DAGs"))
+
+        has_in = {e.dst for e in well_formed}
+        for nid, node in g.nodes.items():
+            if node.op_type != "Input" and nid not in has_in:
+                diags.append(Diagnostic(
+                    code="G012", severity=Severity.WARNING,
+                    message=f"{node.op_type} node has no incoming edge",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="wire the node's inputs or mark it as an "
+                             "Input source"))
+        return diags
+
+
+class OpTypePass(LintPass):
+    """G004: every node's op type must be in the shared vocabulary."""
+
+    name = "op-type"
+    family = "graph"
+    codes = ("G004",)
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        known = set(OP_TYPES)
+        return [Diagnostic(
+            code="G004", severity=Severity.ERROR,
+            message=f"unknown op type {node.op_type!r}",
+            target=ctx.graph.name, pass_name=self.name, node_id=nid,
+            fix_hint="register the operator in repro.graph.flops (it "
+                     "defines OP_TYPES) or fix the node's op_type")
+            for nid, node in ctx.graph.nodes.items()
+            if node.op_type not in known]
+
+
+class ShapeInferencePass(LintPass):
+    """G005: recorded output shapes must survive re-inference."""
+
+    name = "shape-inference"
+    family = "graph"
+    codes = ("G005",)
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        for nid, node in g.nodes.items():
+            if node.op_type not in set(OP_TYPES):
+                continue  # G004's business
+            try:
+                expected = infer_output_shape(
+                    node.op_type, node.attrs, node.input_shapes,
+                    node.output_shape)
+            except ShapeRuleViolation as exc:
+                diags.append(Diagnostic(
+                    code="G005", severity=Severity.ERROR,
+                    message=str(exc), target=g.name, pass_name=self.name,
+                    node_id=nid,
+                    fix_hint="rebuild the node with consistent inputs "
+                             "and attributes"))
+                continue
+            if expected is not None and tuple(expected) != \
+                    tuple(node.output_shape):
+                diags.append(Diagnostic(
+                    code="G005", severity=Severity.ERROR,
+                    message=f"recorded output shape "
+                            f"{tuple(node.output_shape)} but "
+                            f"{node.op_type} inference gives "
+                            f"{tuple(expected)}",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="re-run shape inference (the builder and "
+                             "this rule must agree)"))
+        return diags
+
+
+class EdgeShapePass(LintPass):
+    """G006: an edge must carry exactly its producer's output tensor."""
+
+    name = "edge-shape"
+    family = "graph"
+    codes = ("G006",)
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        for e in g.edges:
+            src = g.nodes.get(e.src)
+            if src is None:
+                continue  # G001's business
+            if e.tensor_shape and src.output_shape and \
+                    tuple(e.tensor_shape) != tuple(src.output_shape):
+                diags.append(Diagnostic(
+                    code="G006", severity=Severity.ERROR,
+                    message=f"edge carries {tuple(e.tensor_shape)} but "
+                            f"its producer outputs "
+                            f"{tuple(src.output_shape)}",
+                    target=g.name, pass_name=self.name,
+                    edge=(e.src, e.dst),
+                    fix_hint="set the edge tensor_shape to the "
+                             "producer's output shape"))
+        return diags
+
+
+class FlopsPass(LintPass):
+    """G007 negative costs, G008 overflow, G009 drift vs. the formulas.
+
+    Drift is a WARNING, not an ERROR: kernel fusion legitimately folds an
+    epilogue's FLOPs into its producer, so recorded > recomputed is
+    expected on fused graphs — but on freshly built graphs any drift
+    means two layers compute the same quantity differently.
+    """
+
+    name = "flops"
+    family = "graph"
+    codes = ("G007", "G008", "G009")
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        known = set(OP_TYPES)
+        for nid, node in g.nodes.items():
+            if node.flops < 0 or node.temp_bytes < 0:
+                diags.append(Diagnostic(
+                    code="G007", severity=Severity.ERROR,
+                    message=f"negative cost (flops={node.flops}, "
+                            f"temp_bytes={node.temp_bytes})",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="costs are physical quantities; recompute "
+                             "them from the registered formulas"))
+                continue
+            if node.flops > FLOPS_OVERFLOW_BOUND:
+                diags.append(Diagnostic(
+                    code="G008", severity=Severity.WARNING,
+                    message=f"FLOPs {node.flops:.3e} exceed the 2^62 "
+                            f"sanity bound (likely an overflow or a "
+                            f"corrupted field)",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="check the configuration that produced "
+                             "this node"))
+                continue
+            if node.op_type not in known:
+                continue  # G004's business; no formula to compare against
+            try:
+                expected = op_flops(node.op_type, node.attrs,
+                                    node.input_shapes, node.output_shape)
+            except (KeyError, IndexError, TypeError, ValueError):
+                continue  # malformed attrs: G010's business
+            if expected != node.flops:
+                diags.append(Diagnostic(
+                    code="G009", severity=Severity.WARNING,
+                    message=f"recorded {node.flops} FLOPs but the "
+                            f"{node.op_type} formula gives {expected}",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="expected only on fused graphs; elsewhere "
+                             "rebuild the node via GraphBuilder"))
+        return diags
+
+
+class SchemaPass(LintPass):
+    """G010: node attributes must satisfy the op type's schema."""
+
+    name = "hyperparameter-schema"
+    family = "graph"
+    codes = ("G010",)
+    preflight = True
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        known = set(OP_TYPES)
+        for nid, node in g.nodes.items():
+            if node.op_type not in known:
+                continue
+            for problem in check_attrs(node.op_type, node.attrs):
+                diags.append(Diagnostic(
+                    code="G010", severity=Severity.ERROR,
+                    message=f"{node.op_type}: {problem}",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="see repro.lint.schema.HPARAM_SCHEMAS for "
+                             "the expected attributes"))
+        return diags
+
+
+class FeatureFinitenessPass(LintPass):
+    """G011: Table I feature vectors must be finite.
+
+    Runs the real encoder (:mod:`repro.features.encode`) node by node so
+    a single pathological node is located precisely instead of poisoning
+    a whole-graph encode.  Needs a device (features include the device
+    vector); without one the pass is skipped.  Not part of the pre-flight
+    subset — encoding costs more than the structural checks.
+    """
+
+    name = "feature-finiteness"
+    family = "graph"
+    codes = ("G011",)
+    preflight = False
+
+    def run(self, ctx: GraphContext) -> list[Diagnostic]:
+        if ctx.device is None:
+            return []
+        from ..features.encode import encode_edge, encode_node
+        g = ctx.graph
+        diags: list[Diagnostic] = []
+        known = set(OP_TYPES)
+        for nid, node in g.nodes.items():
+            if node.op_type not in known:
+                continue  # encoder has no one-hot slot; G004 fires
+            try:
+                vec = encode_node(node, ctx.device)
+            except (KeyError, IndexError, TypeError, ValueError):
+                continue  # malformed attrs: G010's business
+            if not np.all(np.isfinite(vec)):
+                bad = int(np.flatnonzero(~np.isfinite(vec))[0])
+                diags.append(Diagnostic(
+                    code="G011", severity=Severity.ERROR,
+                    message=f"node feature vector has a non-finite "
+                            f"value at column {bad}",
+                    target=g.name, pass_name=self.name, node_id=nid,
+                    fix_hint="a node field (attrs / shapes / flops) is "
+                             "NaN or Inf upstream of the encoder"))
+        for e in g.edges:
+            if e.src not in g.nodes or e.dst not in g.nodes:
+                continue
+            try:
+                vec = encode_edge(e, ctx.device)
+            except (KeyError, IndexError, TypeError, ValueError):
+                continue  # unknown edge type etc.
+            if not np.all(np.isfinite(vec)):
+                diags.append(Diagnostic(
+                    code="G011", severity=Severity.ERROR,
+                    message="edge feature vector has a non-finite value",
+                    target=g.name, pass_name=self.name,
+                    edge=(e.src, e.dst),
+                    fix_hint="the edge tensor shape is corrupt"))
+        return diags
+
+
+#: construction order is reporting order; structural problems first
+GRAPH_PASSES = (StructuralPass, OpTypePass, ShapeInferencePass,
+                EdgeShapePass, FlopsPass, SchemaPass,
+                FeatureFinitenessPass)

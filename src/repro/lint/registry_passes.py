@@ -1,0 +1,202 @@
+"""Cross-registry coverage passes (codes ``R001``–``R006``).
+
+Four independent layers consume the shared ``OP_TYPES`` vocabulary: the
+graph builder emits operators, :mod:`repro.graph.flops` prices them,
+:mod:`repro.gpu.kernels` lowers them to launches, and
+:mod:`repro.features.encode` gives each a one-hot slot and featurizes its
+hyperparameters.  Nothing at runtime forces these registries to agree —
+an operator added to one layer but not another only fails when (if ever)
+a model using it is built, profiled, or encoded.  These passes assert the
+coverage *statically*, so `repro lint --registries` catches the drift the
+moment it is introduced.
+
+Every pass takes its registries as constructor arguments (defaulting to
+the real ones) so negative tests can inject doctored sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .diagnostics import Diagnostic, Severity
+from .manager import LintPass
+from .schema import all_schema_attrs
+
+__all__ = ["RegistryCoveragePass", "ExtraRegistrationPass",
+           "EncoderAttrCoveragePass", "REGISTRY_PASSES"]
+
+_TARGET = "registries"
+
+
+def _real_registries() -> dict:
+    from ..features.encode import op_type_index
+    from ..graph.builder import builder_emitted_ops
+    from ..graph.flops import OP_TYPES, flops_rule_ops
+    from ..gpu.kernels import LOWERABLE_OPS
+    return {
+        "op_types": tuple(OP_TYPES),
+        "builder_ops": frozenset(builder_emitted_ops()),
+        "flops_ops": frozenset(flops_rule_ops()),
+        "lowerable_ops": frozenset(LOWERABLE_OPS),
+        "encoder_index": op_type_index,
+    }
+
+
+class RegistryCoveragePass(LintPass):
+    """R001–R004: every op in ``OP_TYPES`` is covered by all four layers."""
+
+    name = "registry-coverage"
+    family = "registry"
+    codes = ("R001", "R002", "R003", "R004")
+
+    def __init__(self,
+                 op_types: "Iterable[str] | None" = None,
+                 builder_ops: "Iterable[str] | None" = None,
+                 flops_ops: "Iterable[str] | None" = None,
+                 lowerable_ops: "Iterable[str] | None" = None,
+                 encoder_index: "Callable[[str], int] | None" = None):
+        self._op_types = None if op_types is None else tuple(op_types)
+        self._builder_ops = None if builder_ops is None \
+            else frozenset(builder_ops)
+        self._flops_ops = None if flops_ops is None else frozenset(flops_ops)
+        self._lowerable_ops = None if lowerable_ops is None \
+            else frozenset(lowerable_ops)
+        self._encoder_index = encoder_index
+
+    def _resolved(self) -> dict:
+        real = _real_registries()
+        return {
+            "op_types": self._op_types or real["op_types"],
+            "builder_ops": self._builder_ops
+            if self._builder_ops is not None else real["builder_ops"],
+            "flops_ops": self._flops_ops
+            if self._flops_ops is not None else real["flops_ops"],
+            "lowerable_ops": self._lowerable_ops
+            if self._lowerable_ops is not None else real["lowerable_ops"],
+            "encoder_index": self._encoder_index or real["encoder_index"],
+        }
+
+    def run(self, ctx=None) -> list[Diagnostic]:
+        reg = self._resolved()
+        diags: list[Diagnostic] = []
+        n_ops = len(reg["op_types"])
+        for op in reg["op_types"]:
+            if op not in reg["builder_ops"]:
+                diags.append(Diagnostic(
+                    code="R001", severity=Severity.ERROR,
+                    message=f"op {op!r} has no GraphBuilder emitter",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="add a builder method decorated with "
+                             "@_emits(...) in repro.graph.builder"))
+            if op not in reg["flops_ops"]:
+                diags.append(Diagnostic(
+                    code="R002", severity=Severity.ERROR,
+                    message=f"op {op!r} has no FLOPs rule",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="register a formula in "
+                             "repro.graph.flops._FLOPS"))
+            if op not in reg["lowerable_ops"]:
+                diags.append(Diagnostic(
+                    code="R003", severity=Severity.ERROR,
+                    message=f"op {op!r} has no kernel lowering",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="handle the op in repro.gpu.kernels."
+                             "lower_node and add it to LOWERABLE_OPS"))
+            try:
+                idx = reg["encoder_index"](op)
+                ok = 0 <= idx < n_ops
+            except KeyError:
+                ok = False
+            if not ok:
+                diags.append(Diagnostic(
+                    code="R004", severity=Severity.ERROR,
+                    message=f"op {op!r} has no feature-encoder one-hot "
+                            f"slot",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="the encoder's one-hot table must be "
+                             "derived from OP_TYPES"))
+        return diags
+
+
+class ExtraRegistrationPass(LintPass):
+    """R005: registrations for ops outside ``OP_TYPES`` (dead or stale)."""
+
+    name = "extra-registration"
+    family = "registry"
+    codes = ("R005",)
+
+    def __init__(self,
+                 op_types: "Iterable[str] | None" = None,
+                 builder_ops: "Iterable[str] | None" = None,
+                 lowerable_ops: "Iterable[str] | None" = None):
+        self._op_types = None if op_types is None else tuple(op_types)
+        self._builder_ops = None if builder_ops is None \
+            else frozenset(builder_ops)
+        self._lowerable_ops = None if lowerable_ops is None \
+            else frozenset(lowerable_ops)
+
+    def run(self, ctx=None) -> list[Diagnostic]:
+        real = _real_registries()
+        op_types = set(self._op_types or real["op_types"])
+        builder_ops = self._builder_ops \
+            if self._builder_ops is not None else real["builder_ops"]
+        lowerable = self._lowerable_ops \
+            if self._lowerable_ops is not None else real["lowerable_ops"]
+        diags: list[Diagnostic] = []
+        for layer, ops in (("GraphBuilder", builder_ops),
+                           ("kernel lowering", lowerable)):
+            for op in sorted(set(ops) - op_types):
+                diags.append(Diagnostic(
+                    code="R005", severity=Severity.WARNING,
+                    message=f"{layer} registers op {op!r} which is not "
+                            f"in OP_TYPES",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="add the op to repro.graph.flops._FLOPS or "
+                             "delete the stale registration"))
+        return diags
+
+
+class EncoderAttrCoveragePass(LintPass):
+    """R006: every schema attribute must be featurized or exempted.
+
+    An operator hyperparameter that is neither mapped to a feature slot
+    nor listed in the encoder's explicit ``UNENCODED_ATTRS`` exemption
+    set silently vanishes from the model's view of the graph.
+    """
+
+    name = "encoder-attr-coverage"
+    family = "registry"
+    codes = ("R006",)
+
+    def __init__(self,
+                 schema_attrs: "dict[str, frozenset[str]] | None" = None,
+                 encoded: "Iterable[str] | None" = None,
+                 unencoded: "Iterable[str] | None" = None):
+        self._schema_attrs = schema_attrs
+        self._encoded = None if encoded is None else frozenset(encoded)
+        self._unencoded = None if unencoded is None else frozenset(unencoded)
+
+    def run(self, ctx=None) -> list[Diagnostic]:
+        from ..features.encode import ENCODED_ATTRS, UNENCODED_ATTRS
+        schema_attrs = self._schema_attrs or all_schema_attrs()
+        encoded = self._encoded \
+            if self._encoded is not None else ENCODED_ATTRS
+        unencoded = self._unencoded \
+            if self._unencoded is not None else UNENCODED_ATTRS
+        covered = frozenset(encoded) | frozenset(unencoded)
+        diags: list[Diagnostic] = []
+        for op in sorted(schema_attrs):
+            for attr in sorted(schema_attrs[op] - covered):
+                diags.append(Diagnostic(
+                    code="R006", severity=Severity.WARNING,
+                    message=f"attr {attr!r} of op {op!r} has neither a "
+                            f"feature slot nor an unencoded exemption",
+                    target=_TARGET, pass_name=self.name,
+                    fix_hint="map the attr to a slot in repro.features."
+                             "encode or add it to UNENCODED_ATTRS with "
+                             "a rationale"))
+        return diags
+
+
+REGISTRY_PASSES = (RegistryCoveragePass, ExtraRegistrationPass,
+                   EncoderAttrCoveragePass)

@@ -1,0 +1,163 @@
+"""Per-operator hyperparameter schemas for the graph lint passes.
+
+Each schema lists the attributes an operator *must* carry (with a value
+predicate) and the attributes it *may* carry.  The schema pass (``G010``)
+checks every node against its op type's schema; the encoder-coverage pass
+(``R006``) checks that every schema attribute is either featurized by
+:mod:`repro.features.encode` or explicitly exempted there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["AttrSpec", "OpSchema", "HPARAM_SCHEMAS", "schema_for",
+           "check_attrs", "all_schema_attrs"]
+
+Predicate = Callable[[Any], bool]
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def pos_int(v: Any) -> bool:
+    return _is_int(v) and v > 0
+
+
+def nonneg_int(v: Any) -> bool:
+    return _is_int(v) and v >= 0
+
+
+def any_int(v: Any) -> bool:
+    return _is_int(v)
+
+
+def number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def pos_pair(v: Any) -> bool:
+    return (isinstance(v, (tuple, list)) and len(v) == 2
+            and all(pos_int(x) for x in v))
+
+
+def nonneg_pair(v: Any) -> bool:
+    return (isinstance(v, (tuple, list)) and len(v) == 2
+            and all(nonneg_int(x) for x in v))
+
+
+def int_seq(v: Any) -> bool:
+    return (isinstance(v, (tuple, list))
+            and all(_is_int(x) for x in v))
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """One attribute: its value predicate and a description for messages."""
+
+    check: Predicate
+    expect: str
+
+
+@dataclass(frozen=True)
+class OpSchema:
+    """Required and optional attributes of one operator type."""
+
+    required: dict[str, AttrSpec] = field(default_factory=dict)
+    optional: dict[str, AttrSpec] = field(default_factory=dict)
+
+    def known_attrs(self) -> frozenset[str]:
+        return frozenset(self.required) | frozenset(self.optional)
+
+
+def _spec(check: Predicate, expect: str) -> AttrSpec:
+    return AttrSpec(check=check, expect=expect)
+
+
+_POS = _spec(pos_int, "a positive int")
+_NONNEG = _spec(nonneg_int, "a non-negative int")
+_INT = _spec(any_int, "an int")
+_NUM = _spec(number, "a number")
+_PPAIR = _spec(pos_pair, "a pair of positive ints")
+_NPAIR = _spec(nonneg_pair, "a pair of non-negative ints")
+
+_CONV = OpSchema(
+    required={"in_channels": _POS, "out_channels": _POS,
+              "kernel_size": _PPAIR, "stride": _PPAIR,
+              "padding": _NPAIR, "groups": _POS})
+
+_POOL = OpSchema(
+    required={"kernel_size": _PPAIR, "stride": _PPAIR, "padding": _NPAIR})
+
+_RECURRENT = OpSchema(
+    required={"batch": _POS, "seq_len": _POS, "input_size": _POS,
+              "hidden_size": _POS},
+    optional={"num_layers": _POS})
+
+#: hyperparameter schema per op type; ops absent here accept any attrs
+HPARAM_SCHEMAS: dict[str, OpSchema] = {
+    "Conv2d": _CONV,
+    "DepthwiseConv2d": _CONV,
+    "MaxPool2d": _POOL,
+    "AvgPool2d": _POOL,
+    "AdaptiveAvgPool2d": OpSchema(required={"output_size": _PPAIR}),
+    "BatchNorm2d": OpSchema(required={"num_features": _POS}),
+    "LayerNorm": OpSchema(required={"normalized_shape": _POS}),
+    "GroupNorm": OpSchema(required={"groups": _POS}),
+    "Softmax": OpSchema(required={"axis": _INT}),
+    "Gemm": OpSchema(required={"in_features": _POS, "out_features": _POS}),
+    "MatMul": OpSchema(optional={"reduce_dim": _POS}),
+    "Concat": OpSchema(required={"axis": _INT}),
+    "Flatten": OpSchema(required={"start_dim": _NONNEG}),
+    "Transpose": OpSchema(
+        required={"axes": _spec(int_seq, "a sequence of ints")}),
+    "ReduceMean": OpSchema(required={"axis": _INT}),
+    "Embedding": OpSchema(required={"vocab_size": _POS, "embed_dim": _POS}),
+    "LSTM": _RECURRENT,
+    "RNN": _RECURRENT,
+    "Pad": OpSchema(required={"padding": _NPAIR}),
+    "Split": OpSchema(required={"axis": _INT, "sections": _POS,
+                                "index": _NONNEG}),
+    "Pow": OpSchema(optional={"exponent": _NUM}),
+}
+
+
+def schema_for(op_type: str) -> "OpSchema | None":
+    return HPARAM_SCHEMAS.get(op_type)
+
+
+def check_attrs(op_type: str, attrs: dict[str, Any]) -> list[str]:
+    """Schema violations of one node's attributes (empty = valid).
+
+    Beyond per-attribute predicates this enforces the cross-attribute
+    convolution constraint (groups divides both channel counts).
+    """
+    schema = schema_for(op_type)
+    if schema is None:
+        return []
+    problems: list[str] = []
+    for name, spec in schema.required.items():
+        if name not in attrs:
+            problems.append(f"missing required attr {name!r}")
+        elif not spec.check(attrs[name]):
+            problems.append(f"attr {name!r}={attrs[name]!r} is not "
+                            f"{spec.expect}")
+    for name, spec in schema.optional.items():
+        if name in attrs and not spec.check(attrs[name]):
+            problems.append(f"attr {name!r}={attrs[name]!r} is not "
+                            f"{spec.expect}")
+    if op_type in ("Conv2d", "DepthwiseConv2d") and not problems:
+        g = attrs["groups"]
+        if attrs["in_channels"] % g or attrs["out_channels"] % g:
+            problems.append(f"groups={g} does not divide channels "
+                            f"({attrs['in_channels']} in, "
+                            f"{attrs['out_channels']} out)")
+    return problems
+
+
+def all_schema_attrs() -> dict[str, frozenset[str]]:
+    """Every schema attribute name, per op type (for the R006 pass)."""
+    return {op: schema.known_attrs()
+            for op, schema in HPARAM_SCHEMAS.items()}

@@ -1,0 +1,115 @@
+"""AST-based self-lint passes (codes ``S000``–``S003``).
+
+These enforce repo-wide source conventions over ``src/repro`` using only
+the stdlib :mod:`ast` module:
+
+* ``S001`` — no bare ``except:`` (it swallows ``KeyboardInterrupt`` and
+  masks real defects; catch a concrete exception type);
+* ``S002`` — no ``==`` / ``!=`` on occupancy values (occupancy is a
+  float ratio produced by floating-point aggregation; compare with a
+  tolerance or ``pytest.approx``);
+* ``S003`` — every module declares ``__all__`` (the public-API contract
+  the docs-consistency tests import against); ``__main__.py`` files are
+  exempt, being entry-point scripts rather than importable API.
+
+``S000`` (syntax error) is emitted by the pass manager itself when a
+file fails to parse.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Diagnostic, Severity
+from .manager import LintPass, SourceContext
+
+__all__ = ["BareExceptPass", "FloatEqualityPass", "DunderAllPass",
+           "SOURCE_PASSES"]
+
+
+class BareExceptPass(LintPass):
+    """S001: flag ``except:`` handlers with no exception type."""
+
+    name = "bare-except"
+    family = "source"
+    codes = ("S001",)
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        return [Diagnostic(
+            code="S001", severity=Severity.ERROR,
+            message="bare `except:` swallows KeyboardInterrupt and "
+                    "SystemExit",
+            target=ctx.path, pass_name=self.name, file=ctx.path,
+            line=node.lineno,
+            fix_hint="name the exception type (at minimum "
+                     "`except Exception:`)")
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None]
+
+
+def _mentions_occupancy(node: ast.expr) -> bool:
+    """True when an expression's name/attribute chain names occupancy."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "occupancy" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and \
+                "occupancy" in sub.attr.lower():
+            return True
+    return False
+
+
+class FloatEqualityPass(LintPass):
+    """S002: flag ``==`` / ``!=`` comparisons involving occupancy."""
+
+    name = "float-equality"
+    family = "source"
+    codes = ("S002",)
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            if any(_mentions_occupancy(side)
+                   for side in (node.left, *node.comparators)):
+                diags.append(Diagnostic(
+                    code="S002", severity=Severity.ERROR,
+                    message="exact float comparison on an occupancy "
+                            "value",
+                    target=ctx.path, pass_name=self.name, file=ctx.path,
+                    line=node.lineno,
+                    fix_hint="occupancy is a float ratio; compare with "
+                             "a tolerance (math.isclose / np.isclose)"))
+        return diags
+
+
+class DunderAllPass(LintPass):
+    """S003: every importable module must declare ``__all__``."""
+
+    name = "dunder-all"
+    family = "source"
+    codes = ("S003",)
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        if ctx.path.endswith("__main__.py"):
+            return []
+        for node in ctx.tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    return []
+        return [Diagnostic(
+            code="S003", severity=Severity.ERROR,
+            message="module does not declare __all__",
+            target=ctx.path, pass_name=self.name, file=ctx.path, line=1,
+            fix_hint="add `__all__ = [...]` naming the public API")]
+
+
+SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass)

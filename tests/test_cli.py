@@ -1,6 +1,8 @@
-"""CLI tests (profile / predict / schedule subcommands)."""
+"""CLI tests (profile / predict / schedule / lint subcommands)."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -72,3 +74,53 @@ class TestCommands:
                    "--configs-per-model", "2", "--out", out])
         assert rc == 0
         assert len(load_dataset(out)) == 2
+
+
+class TestLintExitCodeContract:
+    """`repro lint` exit codes: 0 clean, 1 ERROR diagnostics, 2 usage."""
+
+    @staticmethod
+    def _graph_file(tmp_path, corrupt: bool) -> str:
+        from repro.models import build_model
+        g = build_model("lenet")
+        if corrupt:
+            g.nodes[1].flops = -5
+        path = tmp_path / ("bad.json" if corrupt else "ok.json")
+        path.write_text(g.to_json())
+        return str(path)
+
+    def test_clean_targets_exit_zero(self, tmp_path, capsys):
+        ok = self._graph_file(tmp_path, corrupt=False)
+        assert main(["lint", "--model", "lenet", "--registries",
+                     "--graph", ok]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_diagnostics_exit_one(self, tmp_path, capsys):
+        bad = self._graph_file(tmp_path, corrupt=True)
+        assert main(["lint", "--graph", bad]) == 1
+        assert "G007" in capsys.readouterr().out
+
+    def test_no_target_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_missing_graph_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--graph", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_model_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--model", "resnet-101"])
+        assert exc.value.code == 2
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        bad = self._graph_file(tmp_path, corrupt=True)
+        assert main(["lint", "--graph", bad, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"]["name"] == "repro-lint"
+        assert doc["summary"]["error"] == 1
+        assert [d["code"] for d in doc["diagnostics"]] == ["G007"]
+
+    def test_self_lint_runs_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
