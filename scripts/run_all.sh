@@ -29,6 +29,10 @@ python -m repro profile --model lenet --batch 16 --trace-out "$OBS_TRACE"
 python -m repro obs "$OBS_TRACE"
 rm -f "$OBS_TRACE"
 
+echo "== resilience smoke: chaos sweep must finish with zero lost jobs =="
+python -m repro chaos --gpus 2 --jobs 6 --fault-rates 0.0 0.25 \
+    --gpu-mtbf 200 --checkpoint-interval 10 --fail-on-lost
+
 echo "== reproduce every table and figure (scale=$SCALE) =="
 REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \
     | tee bench_output.txt

@@ -15,15 +15,17 @@ NumPy/SciPy/NetworkX:
 * :mod:`repro.sched` -- trace-driven co-location scheduling (Table VI);
 * :mod:`repro.metrics` -- MRE/MSE and bucketing;
 * :mod:`repro.obs` -- observability: tracing spans, metrics registry,
-  structured logging, Chrome-trace / Prometheus exporters.
+  structured logging, Chrome-trace / Prometheus exporters;
+* :mod:`repro.resilience` -- fault injection, checkpoint/restart, and
+  graceful-degradation fallback chains (docs/resilience.md).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (baselines, core, data, features, graph, gpu, metrics, models,
-               nn, obs, sched, tensor)
+               nn, obs, resilience, sched, tensor)
 
 __all__ = [
     "tensor", "nn", "graph", "models", "gpu", "features", "data", "core",
-    "baselines", "sched", "metrics", "obs", "__version__",
+    "baselines", "sched", "metrics", "obs", "resilience", "__version__",
 ]

@@ -10,6 +10,8 @@ credible comparator, and a useful sanity floor for the learned models.
 
 from __future__ import annotations
 
+import types
+
 import numpy as np
 
 from ..data import Dataset, GraphSample
@@ -64,6 +66,26 @@ class AnalyticalPredictor:
         x = np.stack([_summary_features(s) for s in dataset])
         x = np.concatenate([x, np.ones((len(x), 1))], axis=1)
         return np.clip(x @ self._weights, 0.0, 1.0)
+
+    def predict_one(self, features) -> float:
+        """Predict occupancy for one encoded graph, no Dataset wrapper.
+
+        Takes a :class:`~repro.features.GraphFeatures` directly — the
+        surface the resilience fallback chain uses, where wrapping a
+        single prediction into a labelled sample would be artificial.
+        Raises ``ValueError`` on a non-finite result (poisoned features
+        must not silently become a confident prediction).
+        """
+        if self._weights is None:
+            raise RuntimeError("fit() must be called before predict()")
+        shim = types.SimpleNamespace(features=features,
+                                     num_nodes=features.num_nodes,
+                                     num_edges=features.num_edges)
+        x = np.concatenate([_summary_features(shim), [1.0]])
+        value = float(x @ self._weights)
+        if not np.isfinite(value):
+            raise ValueError("analytical prediction is non-finite")
+        return float(np.clip(value, 0.0, 1.0))
 
     def evaluate(self, dataset: Dataset) -> dict[str, float]:
         return evaluate_predictions(self.predict(dataset), dataset.labels())

@@ -8,6 +8,10 @@ Three subcommands mirror the system's three roles:
   model's occupancy without profiling it;
 * ``schedule`` — run the Table VI packing-strategy comparison on a
   simulated cluster;
+* ``chaos`` — the resilience sweep: re-run the packing comparison under
+  injected faults (GPU outages, job crashes, occupancy misprediction)
+  across a range of crash probabilities, reporting evictions, retries,
+  lost jobs, and goodput.  ``--fail-on-lost`` turns it into a CI gate;
 * ``lint`` — static diagnostics: graph-IR passes over zoo models or
   serialized graphs, cross-registry coverage checks, and an AST
   self-lint (``--self``).  Exit code 0 = clean, 1 = ERROR diagnostics,
@@ -23,6 +27,7 @@ Examples::
     python -m repro profile --model resnet-50 --batch 64 --device A100
     python -m repro predict --target resnet-50 --batch 64 --device A100
     python -m repro schedule --gpus 4 --jobs 24 --device P40
+    python -m repro chaos --gpus 2 --jobs 8 --fault-rates 0.0 0.2 0.5
     python -m repro profile --model vit-t --trace-out t.json
     python -m repro obs t.json
     python -m repro lint --zoo --registries
@@ -95,6 +100,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=24)
     p.add_argument("--device", default="P40")
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_out(p)
+
+    p = sub.add_parser(
+        "chaos", help="packing comparison under injected faults")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--device", default="P40")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-rates", type=float, nargs="+", metavar="P",
+                   default=[0.0, 0.1, 0.3],
+                   help="per-attempt job crash probabilities to sweep")
+    p.add_argument("--gpu-mtbf", type=float, default=None, metavar="S",
+                   help="mean time between GPU failures in seconds "
+                        "(default: GPUs never fail)")
+    p.add_argument("--gpu-mttr", type=float, default=60.0, metavar="S",
+                   help="mean GPU repair time in seconds (inf = permanent)")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   metavar="S",
+                   help="job checkpoint period; evicted jobs resume from "
+                        "the last checkpoint instead of restarting")
+    p.add_argument("--max-retries", type=int, default=100,
+                   help="retry budget before a job is declared lost")
+    p.add_argument("--mispredict-std", type=float, default=0.0,
+                   help="lognormal noise sigma on scheduler-visible "
+                        "occupancy")
+    p.add_argument("--fail-on-lost", action="store_true",
+                   help="exit 1 if any job exhausts its retry budget "
+                        "(CI gate)")
     _add_trace_out(p)
 
     p = sub.add_parser("trace", help="export a Chrome kernel timeline")
@@ -213,6 +246,44 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import FaultConfig, FaultInjector
+    device = get_device(args.device)
+    mix = ("lenet", "alexnet", "rnn", "lstm", "vgg-11", "resnet-18",
+           "resnet-34", "vit-t")
+    jobs = generate_workload(mix, device, args.jobs, seed=args.seed,
+                             iterations_range=(100, 600))
+    ckpt = (f"{args.checkpoint_interval:g}s"
+            if args.checkpoint_interval is not None else "none")
+    print(f"{args.jobs} jobs on {args.gpus}x {device.name} | "
+          f"gpu mtbf {args.gpu_mtbf or 'inf'} | checkpoint {ckpt} | "
+          f"retry budget {args.max_retries}")
+    print(f"{'crash p':>8s} {'strategy':>20s} {'makespan':>10s} "
+          f"{'evict':>6s} {'retry':>6s} {'lost':>5s} {'goodput':>8s} "
+          f"{'wasted':>9s}")
+    lost = 0
+    for rate in args.fault_rates:
+        cfg = FaultConfig(gpu_mtbf_s=args.gpu_mtbf,
+                          gpu_mttr_s=args.gpu_mttr,
+                          crash_prob=rate,
+                          mispredict_std=args.mispredict_std,
+                          checkpoint_interval_s=args.checkpoint_interval,
+                          max_retries=args.max_retries)
+        for policy in (SlotPacking(), NvmlUtilPacking(), OccuPacking()):
+            res = simulate(jobs, args.gpus, policy,
+                           faults=FaultInjector(cfg, args.seed))
+            lost += res.failed_jobs
+            print(f"{rate:8.2f} {policy.name:>20s} {res.makespan_s:9.1f}s "
+                  f"{res.evictions:6d} {res.retries:6d} "
+                  f"{res.failed_jobs:5d} {res.goodput_fraction:8.1%} "
+                  f"{res.wasted_s:8.1f}s")
+    if args.fail_on_lost and lost:
+        print(f"error: {lost} job(s) lost across the sweep "
+              f"(retry budget exhausted)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .gpu import to_chrome_trace
     device = get_device(args.device)
@@ -295,9 +366,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.log_level:
         obs.configure_logging(args.log_level)
     handler = {"profile": _cmd_profile, "predict": _cmd_predict,
-               "schedule": _cmd_schedule, "trace": _cmd_trace,
-               "obs": _cmd_obs, "dataset": _cmd_dataset,
-               "lint": _cmd_lint}[args.command]
+               "schedule": _cmd_schedule, "chaos": _cmd_chaos,
+               "trace": _cmd_trace, "obs": _cmd_obs,
+               "dataset": _cmd_dataset, "lint": _cmd_lint}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

@@ -9,16 +9,23 @@ and gradient clipping for the recurrent baseline's stability.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..data import Dataset
 from ..metrics import evaluate_predictions
 from ..obs import get_logger
-from ..obs.metrics import gauge
+from ..obs.metrics import counter, gauge
 from ..obs.tracing import span
 from ..tensor import Adam, Module, Tensor, clip_grad_norm, no_grad
+
+#: TrainConfig fields that shape the optimization trajectory; a resumed
+#: run must match its checkpoint on all of them to stay bit-identical.
+_RESUME_CRITICAL = ("lr", "weight_decay", "epochs", "batch_size",
+                    "grad_clip", "seed", "lr_decay", "lr_min", "patience")
+
+_CKPT_VERSION = 1
 
 _log = get_logger("core.trainer")
 
@@ -99,8 +106,108 @@ class Trainer:
                         sample.features, label=sample.occupancy,
                         origin=f"{name}[{i}]:{sample.model_name}")
 
-    def fit(self, train: Dataset, val: Dataset | None = None) -> TrainHistory:
-        """Train for ``config.epochs``; returns the loss history."""
+    # -- checkpoint/restart (durability against preemption) ------------- #
+    def _save_checkpoint(self, path: str, next_epoch: int,
+                         rng: np.random.Generator, best_val: float,
+                         best_state: dict | None, stale: int) -> None:
+        """Atomically persist everything :meth:`fit` needs to resume."""
+        from ..resilience.checkpoint import save_checkpoint
+        arrays: dict[str, np.ndarray] = {}
+        for name, arr in self.model.state_dict().items():
+            arrays[f"model__{name}"] = arr
+        if best_state is not None:
+            for name, arr in best_state.items():
+                arrays[f"best__{name}"] = np.asarray(arr)
+        opt = self.optimizer.state_dict()
+        for i, m in enumerate(opt["m"]):
+            arrays[f"opt_m__{i}"] = m
+        for i, v in enumerate(opt["v"]):
+            arrays[f"opt_v__{i}"] = v
+        arrays["hist__train_loss"] = np.asarray(
+            self.history.train_loss, dtype=np.float64)
+        arrays["hist__val_loss"] = np.asarray(
+            self.history.val_loss, dtype=np.float64)
+        arrays["hist__epoch_time_s"] = np.asarray(
+            self.history.epoch_time_s, dtype=np.float64)
+        meta = {
+            "kind": "trainer", "version": _CKPT_VERSION,
+            "epoch": next_epoch,
+            "config": {k: getattr(self.config, k)
+                       for k in _RESUME_CRITICAL},
+            "rng_state": rng.bit_generator.state,
+            "best_val": best_val, "stale": stale,
+            "has_best": best_state is not None,
+            "opt_t": opt["t"], "opt_lr": opt["lr"],
+        }
+        save_checkpoint(path, arrays, meta, component="trainer")
+
+    def _restore_checkpoint(self, path: str,
+                            rng: np.random.Generator) \
+            -> tuple[int, float, dict | None, int]:
+        """Load a checkpoint into the trainer; returns resume state.
+
+        Raises :class:`~repro.resilience.CheckpointError` on corruption
+        and ``ValueError`` when the checkpoint was produced under a
+        different optimization configuration (resuming would silently
+        diverge from the uninterrupted run).
+        """
+        from ..resilience.checkpoint import CheckpointError, load_checkpoint
+        arrays, meta = load_checkpoint(path, component="trainer")
+        if meta.get("kind") != "trainer" \
+                or meta.get("version") != _CKPT_VERSION:
+            raise CheckpointError(
+                f"{path!r} is not a trainer checkpoint "
+                f"(kind={meta.get('kind')!r}, "
+                f"version={meta.get('version')!r})")
+        ours = {k: getattr(self.config, k) for k in _RESUME_CRITICAL}
+        theirs = meta.get("config", {})
+        if ours != theirs:
+            diff = sorted(k for k in _RESUME_CRITICAL
+                          if ours.get(k) != theirs.get(k))
+            raise ValueError(
+                f"cannot resume from {path!r}: TrainConfig differs on "
+                f"{diff}; a resumed run must use the checkpoint's "
+                f"optimization settings")
+        split: dict[str, dict[str, np.ndarray]] = \
+            {"model": {}, "best": {}, "opt_m": {}, "opt_v": {},
+             "hist": {}}
+        for key, arr in arrays.items():
+            prefix, _, rest = key.partition("__")
+            split[prefix][rest] = arr
+        self.model.load_state_dict(split["model"])
+        n = len(self.optimizer.params)
+        self.optimizer.load_state_dict({
+            "t": meta["opt_t"], "lr": meta["opt_lr"],
+            "m": [split["opt_m"][str(i)] for i in range(n)],
+            "v": [split["opt_v"][str(i)] for i in range(n)]})
+        self.history.train_loss = [float(x)
+                                   for x in split["hist"]["train_loss"]]
+        self.history.val_loss = [float(x)
+                                 for x in split["hist"]["val_loss"]]
+        self.history.epoch_time_s = [
+            float(x) for x in split["hist"]["epoch_time_s"]]
+        rng.bit_generator.state = meta["rng_state"]
+        best_state = ({name: arr for name, arr in split["best"].items()}
+                      if meta["has_best"] else None)
+        _log.info("resumed from checkpoint", extra={
+            "path": path, "epoch": meta["epoch"]})
+        return (int(meta["epoch"]), float(meta["best_val"]), best_state,
+                int(meta["stale"]))
+
+    def fit(self, train: Dataset, val: Dataset | None = None, *,
+            checkpoint_path: str | None = None,
+            checkpoint_every: int = 1,
+            resume_from: str | None = None) -> TrainHistory:
+        """Train for ``config.epochs``; returns the loss history.
+
+        ``checkpoint_path`` enables durability: every
+        ``checkpoint_every`` epochs the full training state (weights,
+        optimizer moments, RNG, loss history, early-stopping bookkeeping)
+        is written atomically with a content checksum.  A run killed
+        mid-training and restarted with ``resume_from=`` continues from
+        the last checkpoint and finishes **bit-identically** to an
+        uninterrupted run with the same config.
+        """
         if len(train) == 0:
             raise ValueError("empty training dataset")
         cfg = self.config
@@ -108,17 +215,23 @@ class Trainer:
             raise ValueError(f"unknown lr_decay {cfg.lr_decay!r}")
         if cfg.patience is not None and (val is None or len(val) == 0):
             raise ValueError("early stopping requires a validation set")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if cfg.preflight:
             self._preflight(train, val)
         rng = np.random.default_rng(cfg.seed)
-        self.model.train()
+        start_epoch = 0
         best_val = np.inf
         best_state = None
         stale = 0
+        if resume_from is not None:
+            start_epoch, best_val, best_state, stale = \
+                self._restore_checkpoint(resume_from, rng)
+        self.model.train()
         # Hoisted metric handles (no-ops when observability is off).
         loss_gauge = gauge("trainer_loss", "last epoch mean train loss")
         lr_gauge = gauge("trainer_lr", "current learning rate")
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
             epoch_t0 = time.perf_counter()
             stop = False
             with span("trainer.epoch", epoch=epoch):
@@ -166,10 +279,21 @@ class Trainer:
             _log.debug("epoch done", extra={
                 "epoch": epoch, "train_loss": round(train_loss, 6),
                 "wall_s": round(self.history.epoch_time_s[-1], 4)})
+            if checkpoint_path is not None and \
+                    ((epoch + 1) % checkpoint_every == 0 or stop
+                     or epoch + 1 == cfg.epochs):
+                with span("trainer.checkpoint", epoch=epoch):
+                    self._save_checkpoint(checkpoint_path, epoch + 1,
+                                          rng, best_val, best_state,
+                                          stale)
             if stop:
                 break
         if best_state is not None:
             self.model.load_state_dict(best_state)
+            # Counted so interrupted-vs-resumed traces can be compared:
+            # both runs must restore the same best epoch exactly once.
+            counter("trainer_best_state_restores_total",
+                    "early-stopping best-weights restorations").inc()
         self.model.eval()
         return self.history
 

@@ -75,6 +75,7 @@ CODE_TABLE: dict[str, str] = {
     "S001": "bare `except:` clause",
     "S002": "float equality (`==`/`!=`) on an occupancy value",
     "S003": "module missing `__all__`",
+    "S004": "raw `time.sleep` outside the resilience backoff helper",
     # feature/label pre-flight (trainer fail-fast)
     "F001": "non-finite value in an encoded feature matrix",
     "F002": "occupancy label outside [0, 1]",

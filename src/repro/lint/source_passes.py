@@ -10,7 +10,11 @@ the stdlib :mod:`ast` module:
   tolerance or ``pytest.approx``);
 * ``S003`` — every module declares ``__all__`` (the public-API contract
   the docs-consistency tests import against); ``__main__.py`` files are
-  exempt, being entry-point scripts rather than importable API.
+  exempt, being entry-point scripts rather than importable API;
+* ``S004`` — no raw ``time.sleep`` calls outside the sanctioned backoff
+  helper (``repro/resilience/backoff.py``); ad-hoc sleeps are unbounded,
+  untestable, and invisible to the fault model — retry delays must go
+  through :class:`repro.resilience.ExponentialBackoff`.
 
 ``S000`` (syntax error) is emitted by the pass manager itself when a
 file fails to parse.
@@ -24,7 +28,7 @@ from .diagnostics import Diagnostic, Severity
 from .manager import LintPass, SourceContext
 
 __all__ = ["BareExceptPass", "FloatEqualityPass", "DunderAllPass",
-           "SOURCE_PASSES"]
+           "SleepRetryPass", "SOURCE_PASSES"]
 
 
 class BareExceptPass(LintPass):
@@ -112,4 +116,42 @@ class DunderAllPass(LintPass):
             fix_hint="add `__all__ = [...]` naming the public API")]
 
 
-SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass)
+def _is_sleep_call(node: ast.Call) -> bool:
+    """True for ``time.sleep(...)`` or a bare ``sleep(...)`` call."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "sleep" and \
+            isinstance(func.value, ast.Name) and func.value.id == "time":
+        return True
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+class SleepRetryPass(LintPass):
+    """S004: flag raw sleeps outside the sanctioned backoff helper.
+
+    Retry delays belong in :class:`repro.resilience.ExponentialBackoff`
+    (deterministic, capped, testable); a scattered ``time.sleep`` is none
+    of those.  The backoff module itself is the one sanctioned home for
+    wall-clock sleeping and is exempt.
+    """
+
+    name = "sleep-retry"
+    family = "source"
+    codes = ("S004",)
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        if ctx.path.replace("\\", "/").endswith("resilience/backoff.py"):
+            return []
+        return [Diagnostic(
+            code="S004", severity=Severity.ERROR,
+            message="raw sleep call; retry delays must use "
+                    "repro.resilience.ExponentialBackoff",
+            target=ctx.path, pass_name=self.name, file=ctx.path,
+            line=node.lineno,
+            fix_hint="compute the delay with ExponentialBackoff.delay() "
+                     "so it is capped, seeded, and testable")
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call) and _is_sleep_call(node)]
+
+
+SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass,
+                 SleepRetryPass)

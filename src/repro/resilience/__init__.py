@@ -1,0 +1,42 @@
+"""Resilience layer: fault injection, checkpoint/restart, degradation.
+
+Real clusters lose GPUs, kill jobs, and feed schedulers mispredictions;
+real training runs get preempted.  This package gives the reproduction
+the machinery to express and survive all of that:
+
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultInjector` (GPU outage windows, per-attempt job crashes,
+  occupancy-misprediction noise) consumed by the scheduler simulator's
+  ``faults=`` parameter;
+* :mod:`~repro.resilience.backoff` — the capped
+  :class:`ExponentialBackoff` retry-delay policy (the only module where
+  raw ``time.sleep`` is permitted, per lint ``S004``);
+* :mod:`~repro.resilience.checkpoint` — atomic, sha256-checksummed
+  checkpoint files used by ``Trainer.fit(checkpoint_path=...)`` /
+  ``resume_from=``;
+* :mod:`~repro.resilience.fallback` — the GNN → analytical → constant
+  :class:`FallbackPredictor` chain that lets scheduling experiments
+  degrade per-sample instead of aborting.
+
+Everything is observable through :mod:`repro.obs`
+(``resilience_faults_total``, ``resilience_fallbacks_total``,
+``resilience_checkpoints_total`` / ``resilience_restores_total``, and
+the simulator's ``resilience_retries`` histogram); ``docs/resilience.md``
+documents the fault model, checkpoint format, and fallback semantics.
+"""
+
+from __future__ import annotations
+
+from .backoff import ExponentialBackoff
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .faults import FaultConfig, FaultInjector
+from .fallback import (FallbackPredictor, analytical_tier, constant_tier,
+                       default_fallback_chain, gnn_tier)
+
+__all__ = [
+    "ExponentialBackoff",
+    "CheckpointError", "save_checkpoint", "load_checkpoint",
+    "FaultConfig", "FaultInjector",
+    "FallbackPredictor", "gnn_tier", "analytical_tier", "constant_tier",
+    "default_fallback_chain",
+]

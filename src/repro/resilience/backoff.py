@@ -1,0 +1,50 @@
+"""Capped exponential backoff: the one sanctioned retry-delay policy.
+
+Every retry loop in the repo — simulated (scheduler re-queue delays) or
+real (a future service front-end) — must compute its delays through
+:class:`ExponentialBackoff` rather than hand-rolled ``time.sleep``
+arithmetic.  The ``S004`` self-lint pass enforces this: raw ``time.sleep``
+calls anywhere outside this module are flagged as errors, because ad-hoc
+sleeps are untestable, unbounded, and invisible to the fault model.
+
+The helper is pure (it *computes* delays; callers decide whether the
+delay is simulated time or wall-clock time), which is what lets the
+scheduler simulator and the trainer share one retry policy and what keeps
+chaos experiments deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExponentialBackoff"]
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """``delay(k) = min(cap_s, base_s * factor**(k-1))`` for attempt k>=1."""
+
+    base_s: float = 1.0
+    factor: float = 2.0
+    cap_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.cap_s < self.base_s:
+            raise ValueError("backoff cap must be >= base")
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        # Guard the power: past the cap the exact exponent is irrelevant
+        # and factor**attempt would overflow for large budgets.
+        exponent = min(attempt - 1, 64)
+        return min(self.cap_s, self.base_s * self.factor ** exponent)
+
+    def schedule(self, attempts: int) -> list[float]:
+        """Delays for retries ``1..attempts`` (useful for tests/docs)."""
+        return [self.delay(k) for k in range(1, attempts + 1)]

@@ -1,0 +1,140 @@
+"""Seeded, deterministic fault injection for the cluster simulator.
+
+A :class:`FaultInjector` is a pure source of *when things break*: GPU
+failure/recovery windows, per-attempt job crashes, and multiplicative
+noise on the occupancy predictions the scheduler sees.  The simulator
+asks it questions; it never mutates simulation state itself.
+
+Determinism is the design center: every stream of randomness is keyed by
+``(seed, stream tag, entity id)`` through NumPy's ``SeedSequence``
+spawning, so the answer for GPU 3's second outage or job 17's fourth
+attempt does not depend on how many other questions were asked first.
+Two simulations with the same injector seed therefore produce identical
+fault timelines — the property the chaos-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .backoff import ExponentialBackoff
+
+__all__ = ["FaultConfig", "FaultInjector"]
+
+# Stream tags keeping per-purpose RNG substreams independent.
+_STREAM_OUTAGE = 1
+_STREAM_CRASH = 2
+_STREAM_NOISE = 3
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What can go wrong, and how the cluster responds.
+
+    ``gpu_mtbf_s`` / ``gpu_mttr_s`` parameterize exponential up/down
+    durations per GPU (``None`` MTBF disables outages; an infinite MTTR
+    makes the first failure permanent).  ``crash_prob`` is the
+    per-*attempt* probability that a job dies partway through; the crash
+    point is uniform over the attempt's remaining work.
+    ``mispredict_std`` is the sigma of log-normal noise applied to
+    scheduler-visible occupancy predictions.  ``checkpoint_interval_s``
+    is the job checkpoint period: an evicted job resumes from its last
+    completed interval instead of from zero (``None`` = no checkpoints,
+    full restart).  Retries are bounded by ``max_retries`` and spaced by
+    the capped exponential ``backoff``.
+    """
+
+    gpu_mtbf_s: float | None = None
+    gpu_mttr_s: float = 60.0
+    crash_prob: float = 0.0
+    mispredict_std: float = 0.0
+    checkpoint_interval_s: float | None = None
+    max_retries: int = 100
+    backoff: ExponentialBackoff = field(default_factory=ExponentialBackoff)
+
+    def __post_init__(self) -> None:
+        if self.gpu_mtbf_s is not None and self.gpu_mtbf_s <= 0:
+            raise ValueError("gpu_mtbf_s must be positive (or None)")
+        if self.gpu_mttr_s <= 0:
+            raise ValueError("gpu_mttr_s must be positive (inf = "
+                             "permanent outage)")
+        if not 0.0 <= self.crash_prob < 1.0:
+            raise ValueError("crash_prob must be in [0, 1)")
+        if self.mispredict_std < 0:
+            raise ValueError("mispredict_std must be non-negative")
+        if self.checkpoint_interval_s is not None \
+                and self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive "
+                             "(or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class FaultInjector:
+    """Deterministic oracle for outages, crashes, and prediction noise."""
+
+    def __init__(self, config: FaultConfig | None = None, seed: int = 0):
+        self.config = config or FaultConfig()
+        self.seed = int(seed)
+
+    def _rng(self, stream: int, *ids: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, stream, *ids)))
+
+    # -- GPU outages ----------------------------------------------------- #
+    def transitions(self, gpu_id: int) -> Iterator[tuple[float, bool]]:
+        """Yield ``(time_s, is_up_after)`` availability transitions.
+
+        The GPU starts up at t=0; the stream alternates down events
+        (``False``) and recovery events (``True``).  A permanent outage
+        (infinite MTTR) ends the stream after its down event.  The
+        generator is infinite otherwise — consume lazily.
+        """
+        cfg = self.config
+        if cfg.gpu_mtbf_s is None:
+            return
+        rng = self._rng(_STREAM_OUTAGE, gpu_id)
+        t = 0.0
+        while True:
+            t += float(rng.exponential(cfg.gpu_mtbf_s))
+            yield (t, False)
+            if math.isinf(cfg.gpu_mttr_s):
+                return
+            t += float(rng.exponential(cfg.gpu_mttr_s))
+            yield (t, True)
+
+    # -- job crashes ----------------------------------------------------- #
+    def crash_fraction(self, job_id: int, attempt: int) -> float | None:
+        """Crash point for this attempt as a fraction of remaining work.
+
+        Returns ``None`` when the attempt survives.  Keyed by
+        ``(job_id, attempt)`` so an unlucky job's retry rolls fresh dice.
+        """
+        cfg = self.config
+        if cfg.crash_prob <= 0.0:
+            return None
+        rng = self._rng(_STREAM_CRASH, job_id, attempt)
+        if float(rng.random()) >= cfg.crash_prob:
+            return None
+        # Uniform in (0, 1): a crash exactly at 0 or 1 would be a no-op
+        # or a completion, neither of which exercises recovery.
+        return float(rng.uniform(0.05, 0.95))
+
+    # -- prediction noise ------------------------------------------------ #
+    def perturb_occupancy(self, job_id: int, value: float) -> float:
+        """Log-normal multiplicative noise on a predicted occupancy."""
+        if self.config.mispredict_std <= 0.0:
+            return float(value)
+        rng = self._rng(_STREAM_NOISE, job_id)
+        noisy = value * math.exp(
+            float(rng.normal(0.0, self.config.mispredict_std)))
+        return float(min(1.0, max(0.0, noisy)))
+
+    # -- retry pacing ---------------------------------------------------- #
+    def requeue_delay(self, job_id: int, attempt: int) -> float:
+        """Simulated seconds an evicted job waits before re-queueing."""
+        return self.config.backoff.delay(attempt)

@@ -36,6 +36,20 @@ class Job:
     start_s: float | None = field(default=None, init=False)
     finish_s: float | None = field(default=None, init=False)
     gpu_id: int | None = field(default=None, init=False)
+    # -- resilience state (owned by the simulator's fault machinery) ----- #
+    #: time at which the job may next be placed (arrival, or the end of a
+    #: post-eviction backoff window)
+    ready_s: float = field(default=0.0, init=False)
+    #: times the job was evicted (GPU failure or crash)
+    evictions: int = field(default=0, init=False)
+    #: times the job re-entered the queue after an eviction
+    retries: int = field(default=0, init=False)
+    #: progress rolled back by evictions (work lost since last checkpoint)
+    wasted_s: float = field(default=0.0, init=False)
+    #: job exhausted its retry budget and was dropped
+    failed: bool = field(default=False, init=False)
+    #: fault-injected (perturbed) prediction the scheduler sees, if any
+    noisy_occupancy: float | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -43,10 +57,18 @@ class Job:
         if not 0.0 <= self.occupancy <= 1.0:
             raise ValueError("occupancy must be in [0, 1]")
         self.remaining_s = self.duration_s
+        self.ready_s = self.arrival_s
 
     @property
     def sched_occupancy(self) -> float:
-        """Occupancy as seen by the scheduler (prediction if available)."""
+        """Occupancy as seen by the scheduler (prediction if available).
+
+        Fault injection overlays misprediction noise via
+        ``noisy_occupancy`` without touching the clean prediction, so the
+        same job list can be simulated with and without noise.
+        """
+        if self.noisy_occupancy is not None:
+            return self.noisy_occupancy
         return (self.predicted_occupancy
                 if self.predicted_occupancy is not None else self.occupancy)
 

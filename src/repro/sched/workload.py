@@ -46,7 +46,14 @@ def make_job(job_id: int, model_name: str, cfg: ModelConfig,
     predicted = None
     predicted_std = 0.0
     if predictor is not None:
-        out = predictor(encode_graph(graph, device))
+        # Resilient predictors (repro.resilience.FallbackPredictor) set
+        # ``wants_graph`` and take (graph, device) so failures inside
+        # encoding or the lint gate stay catchable per tier; plain
+        # predictors receive pre-encoded features.
+        if getattr(predictor, "wants_graph", False):
+            out = predictor(graph, device)
+        else:
+            out = predictor(encode_graph(graph, device))
         # Predictors may return a bare mean or a (mean, std) pair (e.g.
         # EnsemblePredictor.predict_with_std).
         if isinstance(out, tuple):

@@ -40,6 +40,18 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _check_param_count(self, arrays: list) -> None:
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"optimizer state for {len(arrays)} parameters cannot be "
+                f"loaded into an optimizer over {len(self.params)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -64,6 +76,17 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (checkpoint/restart support)."""
+        return {"lr": self.lr,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_param_count(state["velocity"])
+        self.lr = float(state["lr"])
+        self._velocity = [np.asarray(v, dtype=np.float64).copy()
+                         for v in state["velocity"]]
 
 
 class Adam(Optimizer):
@@ -102,3 +125,20 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (checkpoint/restart support)."""
+        return {"lr": self.lr, "t": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state from :meth:`state_dict` (bit-exact resume)."""
+        self._check_param_count(state["m"])
+        self._check_param_count(state["v"])
+        self.lr = float(state["lr"])
+        self._t = int(state["t"])
+        self._m = [np.asarray(m, dtype=np.float64).copy()
+                   for m in state["m"]]
+        self._v = [np.asarray(v, dtype=np.float64).copy()
+                   for v in state["v"]]

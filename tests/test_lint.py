@@ -253,6 +253,34 @@ def test_s003_main_modules_exempt(tmp_path):
     assert not _lint_source(tmp_path, "print('hi')\n", name="__main__.py")
 
 
+def test_s004_raw_sleep(tmp_path):
+    c = _lint_source(tmp_path,
+                     "__all__ = []\n"
+                     "import time\n"
+                     "from time import sleep\n"
+                     "def retry():\n"
+                     "    time.sleep(1.0)\n"
+                     "    sleep(2)\n")
+    assert c["S004"] == 2
+    assert set(c) == {"S004"}
+
+
+def test_s004_backoff_module_exempt(tmp_path):
+    (tmp_path / "resilience").mkdir()
+    f = tmp_path / "resilience" / "backoff.py"
+    f.write_text("__all__ = []\nimport time\ntime.sleep(0.0)\n")
+    assert not codes(lint_paths([str(f)]))
+
+
+def test_s004_ignores_other_attributes(tmp_path):
+    c = _lint_source(tmp_path,
+                     "__all__ = []\n"
+                     "def f(event):\n"
+                     "    event.sleep = 3\n"
+                     "    return event.wait()\n")
+    assert not c
+
+
 def test_directory_lint_recurses(tmp_path):
     (tmp_path / "sub").mkdir()
     (tmp_path / "sub" / "a.py").write_text("x = 1\n")

@@ -176,6 +176,41 @@ class TestSimulator:
         with pytest.raises(ValueError):
             simulate([job()], 0, SlotPacking())
 
+    def test_empty_job_list(self):
+        res = simulate([], 2, SlotPacking())
+        assert res.makespan_s == 0.0
+        assert res.avg_jct == 0.0
+        assert res.avg_slowdown == 0.0
+        assert res.avg_stretch == 0.0
+        assert res.avg_queue_delay == 0.0
+        assert res.avg_nvml_utilization == 0.0
+        with pytest.raises(ValueError, match="no job completed"):
+            res.jct_percentile(50.0)
+
+    def test_jct_percentile_range_check(self):
+        res = simulate([job(dur=5.0)], 1, SlotPacking())
+        assert res.jct_percentile(50.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError, match="percentile"):
+            res.jct_percentile(101.0)
+
+    def test_deadlock_when_every_gpu_permanently_down(self):
+        from repro.resilience import FaultConfig, FaultInjector
+        import math as _math
+        faults = FaultInjector(FaultConfig(
+            gpu_mtbf_s=0.001, gpu_mttr_s=_math.inf), seed=0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate([job(dur=10.0)], 1, SlotPacking(), faults=faults)
+
+    def test_oversized_job_blocks_then_runs_exclusively(self):
+        # FIFO head-of-line: the oversized job waits for an *empty* GPU,
+        # blocking the queue behind it, then runs alone.
+        jobs = [job(0, 5.0, occ=0.3), job(1, 5.0, occ=0.9),
+                job(2, 5.0, occ=0.3)]
+        res = simulate(jobs, 1, OccuPacking(cap=0.5))
+        assert jobs[1].start_s == pytest.approx(5.0)
+        assert jobs[2].start_s == pytest.approx(10.0)
+        assert res.makespan_s == pytest.approx(15.0)
+
     def test_rerunnable_under_multiple_policies(self):
         jobs = [job(i, 5.0, occ=0.3) for i in range(4)]
         r1 = simulate(jobs, 2, SlotPacking())
