@@ -40,6 +40,9 @@ SECTIONS = (
      "(not in the paper's tables; supports its Section V-A1 claim)"),
     ("ablation", "Ablations",
      "(design-choice studies from DESIGN.md)"),
+    ("perf", "Perf micro-benchmarks",
+     "(component numbers; gates live in BENCH_perf.json via "
+     "`repro bench --check`)"),
 )
 
 
@@ -48,7 +51,9 @@ def build_report() -> str:
         raise SystemExit(
             f"no results at {RESULTS_DIR}; run "
             "`pytest benchmarks/ --benchmark-only` first")
-    files = sorted(os.listdir(RESULTS_DIR))
+    # .txt only: keeps REPORT.md and BENCH_perf.json out of the inlining
+    files = sorted(f for f in os.listdir(RESULTS_DIR)
+                   if f.endswith(".txt"))
     lines = ["# Reproduced tables and figures", ""]
     used = set()
     for prefix, title, paper in SECTIONS:

@@ -33,6 +33,10 @@ echo "== resilience smoke: chaos sweep must finish with zero lost jobs =="
 python -m repro chaos --gpus 2 --jobs 6 --fault-rates 0.0 0.25 \
     --gpu-mtbf 200 --checkpoint-interval 10 --fail-on-lost
 
+echo "== perf gates: batched training / parallel+cached generation =="
+python -m repro bench --scale "$SCALE" \
+    --out benchmarks/results/BENCH_perf.json --check
+
 echo "== reproduce every table and figure (scale=$SCALE) =="
 REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \
     | tee bench_output.txt

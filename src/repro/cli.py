@@ -176,7 +176,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--devices", nargs="+", default=["A100"])
     p.add_argument("--configs-per-model", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel evaluation workers (bit-identical to "
+                        "serial for any value)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed profile/encoding cache directory")
     p.add_argument("--out", required=True, help="output .npz path")
+
+    p = sub.add_parser("bench", help="run the perf micro-benchmark gates")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the BENCH_perf.json document here")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload multiplier (CI uses small scales)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any perf gate fails")
     return parser
 
 
@@ -355,9 +368,24 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     devices = [get_device(d) for d in args.devices]
     ds = generate_dataset(args.models, devices,
                           configs_per_model=args.configs_per_model,
-                          seed=args.seed)
+                          seed=args.seed, workers=args.workers,
+                          cache_dir=args.cache_dir)
     save_dataset(ds, args.out)
     print(f"saved {len(ds)} labelled graphs to {args.out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import format_summary, run_benchmarks, save_results
+    results = run_benchmarks(scale=args.scale)
+    print(format_summary(results))
+    if args.out:
+        save_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check and not all(results["gates"].values()):
+        failed = [k for k, v in results["gates"].items() if not v]
+        print(f"perf gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -368,7 +396,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {"profile": _cmd_profile, "predict": _cmd_predict,
                "schedule": _cmd_schedule, "chaos": _cmd_chaos,
                "trace": _cmd_trace, "obs": _cmd_obs,
-               "dataset": _cmd_dataset, "lint": _cmd_lint}[args.command]
+               "dataset": _cmd_dataset, "lint": _cmd_lint,
+               "bench": _cmd_bench}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

@@ -49,12 +49,29 @@ class ANEELayer(Module):
         ``edge_index``: (2, m) int array of (src, dst).
         Returns updated ``(h', e')`` of widths ``hidden``.
         """
+        return self.forward_batch(h, e, edge_index)
+
+    def forward_batch(self, h: Tensor, e: Tensor, edge_index: np.ndarray,
+                      edgeless_mask: "np.ndarray | None" = None,
+                      ) -> tuple[Tensor, Tensor]:
+        """Message passing over a packed disjoint union of graphs.
+
+        Because aggregation follows ``edge_index`` and edges never cross
+        graph boundaries, running the packed node/edge arrays of a whole
+        minibatch through this method is mathematically identical to one
+        :meth:`forward` call per member graph — with one corner: a graph
+        with *no* edges returns its node transform ``h̄`` from
+        :meth:`forward`, whereas scatter-aggregation would zero its rows.
+        ``edgeless_mask`` — an ``(n, 1)`` 0/1 float array marking the
+        nodes of edgeless member graphs — substitutes the ``h̄`` rows for
+        exactly those nodes, preserving per-graph semantics.
+        """
         n = h.shape[0]
         src, dst = edge_index[0], edge_index[1]
 
         h_bar = (h @ self.w_u.T).leaky_relu()          # (n, hidden)
         if e.shape[0] == 0:
-            # Isolated-node graph: only the node transform applies.
+            # Isolated-node graph(s): only the node transform applies.
             return h_bar, e
 
         h_src = h_bar[src]                              # (m, hidden)
@@ -67,4 +84,7 @@ class ANEELayer(Module):
         messages = gate * h_src                         # (m, hidden)
         agg = Tensor.scatter_add(messages, dst, n)      # (n, hidden)
         h_new = agg.leaky_relu()
+        if edgeless_mask is not None and edgeless_mask.any():
+            keep = edgeless_mask
+            h_new = h_new * (1.0 - keep) + h_bar * keep
         return h_new, e_new

@@ -60,7 +60,17 @@ class GraphormerLayer(Module):
         # One learnable bias per SPD bucket (0..MAX_SPD, unreachable).
         self.spd_bias = Parameter(np.zeros(MAX_SPD + 2))
 
-    def forward(self, h: Tensor, spd: np.ndarray) -> Tensor:
-        """``h``: (n, dim) node states; ``spd``: (n, n) distance buckets."""
-        bias = self.spd_bias[spd]  # gather -> (n, n) Tensor
+    def forward(self, h: Tensor, spd: np.ndarray,
+                key_bias: "np.ndarray | None" = None) -> Tensor:
+        """``h``: (n, dim) node states; ``spd``: (n, n) distance buckets.
+
+        Batched execution passes ``h`` as (B, n_max, dim) padded states
+        with ``spd`` as (B, n_max, n_max) buckets and ``key_bias`` as the
+        (B, 1, n_max) additive validity mask (``-1e30`` on padded key
+        slots), which keeps attention block-diagonal: a node can never
+        attend to a padding slot or to another graph in the batch.
+        """
+        bias = self.spd_bias[spd]  # gather -> (n, n) | (B, n, n) Tensor
+        if key_bias is not None:
+            bias = bias + key_bias
         return self.block(h, attn_bias=bias)

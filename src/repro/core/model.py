@@ -95,11 +95,54 @@ class DNNOccu(Module):
         out = self.head_fc2(z).sigmoid()
         return out.reshape(())
 
+    def forward_batch(self, batch) -> Tensor:
+        """Vectorized forward over a collated minibatch; returns ``(B,)``.
+
+        ``batch`` is a :class:`~repro.perf.batching.GraphBatch`.  Message
+        passing runs on the packed disjoint union (edges never cross
+        member graphs), attention on the padded dense view under the
+        block-diagonal validity mask; predictions and gradients match a
+        loop of :meth:`forward` calls within 1e-6 (see
+        docs/performance.md for the equivalence argument).
+        """
+        h = Tensor(batch.node_features)
+        e = Tensor(batch.edge_features)
+        for layer in self.anee:
+            h, e = layer.forward_batch(h, e, batch.edge_index,
+                                       edgeless_mask=batch.edgeless_mask)
+
+        hidden = h.shape[1]
+        b, n_max = batch.node_mask.shape
+        # pack -> pad: one appended zero row serves every padding slot,
+        # so the gather's backward is a pure scatter-add.
+        h_ext = Tensor.concat([h, Tensor(np.zeros((1, hidden)))], axis=0)
+        h = h_ext[batch.pad_index].reshape(b, n_max, hidden)
+
+        for layer in self.graphormer:
+            h = layer(h, batch.spd, key_bias=batch.key_bias)
+
+        pooled = self.decoder(h, key_bias=batch.key_bias)  # (B, k, hidden)
+        flat = pooled.reshape(b, pooled.shape[1] * pooled.shape[2])
+        z = self.head_fc1(flat).relu()
+        out = self.head_fc2(z).sigmoid()                   # (B, 1)
+        return out.reshape((b,))
+
     def predict(self, features: GraphFeatures) -> float:
         """Inference-only scalar prediction."""
         from ..tensor import no_grad
         with no_grad():
             return float(self.forward(features).data)
+
+    def predict_batch(self, features_list) -> np.ndarray:
+        """Inference-only predictions for many graphs in one forward."""
+        # Imported lazily: core must not depend on perf at import time.
+        from ..perf.batching import collate
+        from ..tensor import no_grad
+        feats = list(features_list)
+        if not feats:
+            return np.zeros(0)
+        with no_grad():
+            return np.array(self.forward_batch(collate(feats)).data)
 
     @staticmethod
     def _spd(features: GraphFeatures) -> np.ndarray:

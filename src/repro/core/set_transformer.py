@@ -30,8 +30,12 @@ class MAB(Module):
         self.ln1 = LayerNorm(dim)
         self.ln2 = LayerNorm(dim)
 
-    def forward(self, x: Tensor, y: Tensor) -> Tensor:
-        h = self.ln1(x + self.attn(x, y))
+    def forward(self, x: Tensor, y: Tensor,
+                key_bias: "np.ndarray | None" = None) -> Tensor:
+        """``key_bias`` — additive pre-softmax mask on the attention onto
+        ``y`` (``(B, 1, n)``, ``-1e30`` on padded slots); used by the
+        batched execution path so pooling never reads padding."""
+        h = self.ln1(x + self.attn(x, y, attn_bias=key_bias))
         return self.ln2(h + self.ffn(h))
 
 
@@ -56,8 +60,16 @@ class PMA(Module):
         self.ffn = FeedForward(dim, dim, rng)
         self.mab = MAB(dim, num_heads, rng)
 
-    def forward(self, h: Tensor) -> Tensor:
-        return self.mab(self.seeds, self.ffn(h))
+    def forward(self, h: Tensor,
+                key_bias: "np.ndarray | None" = None) -> Tensor:
+        seeds = self.seeds
+        if h.ndim == 3:
+            # Broadcast the shared seeds over the batch axis; the
+            # broadcast-add routes each member's seed gradient back into
+            # the single shared parameter.
+            seeds = self.seeds.reshape(1, *self.seeds.shape) \
+                + Tensor(np.zeros((h.shape[0], 1, 1)))
+        return self.mab(seeds, self.ffn(h), key_bias=key_bias)
 
 
 class SetTransformerDecoder(Module):
@@ -71,8 +83,9 @@ class SetTransformerDecoder(Module):
                                 for _ in range(num_sabs)])
         self.out_ffn = FeedForward(dim, dim, rng)
 
-    def forward(self, h: Tensor) -> Tensor:
-        x = self.pma(h)
+    def forward(self, h: Tensor,
+                key_bias: "np.ndarray | None" = None) -> Tensor:
+        x = self.pma(h, key_bias=key_bias)
         for sab in self.sabs:
             x = sab(x)
         return self.out_ffn(x)

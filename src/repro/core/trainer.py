@@ -195,10 +195,18 @@ class Trainer:
                 int(meta["stale"]))
 
     def fit(self, train: Dataset, val: Dataset | None = None, *,
+            batched: bool = False,
             checkpoint_path: str | None = None,
             checkpoint_every: int = 1,
             resume_from: str | None = None) -> TrainHistory:
         """Train for ``config.epochs``; returns the loss history.
+
+        ``batched=True`` runs each minibatch as ONE vectorized
+        forward/backward through the model's ``forward_batch`` (see
+        :mod:`repro.perf.batching`) instead of ``batch_size`` Python-level
+        passes.  Epoch order, minibatch composition, and the loss are
+        unchanged; gradients match the per-graph path within float
+        tolerance, so both paths train to the same optimum.
 
         ``checkpoint_path`` enables durability: every
         ``checkpoint_every`` epochs the full training state (weights,
@@ -210,6 +218,15 @@ class Trainer:
         """
         if len(train) == 0:
             raise ValueError("empty training dataset")
+        if batched and not hasattr(self.model, "forward_batch"):
+            raise TypeError(
+                f"batched=True requires a model with forward_batch(); "
+                f"{type(self.model).__name__} only supports the "
+                f"per-graph path")
+        collate = None
+        if batched:
+            # Imported lazily: core must not depend on perf at import time.
+            from ..perf.batching import collate
         cfg = self.config
         if cfg.lr_decay not in ("none", "cosine"):
             raise ValueError(f"unknown lr_decay {cfg.lr_decay!r}")
@@ -245,13 +262,28 @@ class Trainer:
                 for start in range(0, len(order), cfg.batch_size):
                     batch = order[start:start + cfg.batch_size]
                     self.optimizer.zero_grad()
-                    loss = None
-                    for i in batch:
-                        sample = train[i]
-                        pred = self.model(sample.features)
-                        err = (pred - sample.occupancy) ** 2
-                        loss = err if loss is None else loss + err
-                    loss = loss * (1.0 / len(batch))
+                    if batched:
+                        # perf: per-sample-ok — O(batch_size) gather
+                        # feeding the vectorized forward, not a loop
+                        # over the dataset.
+                        samples = [train[i] for i in batch]
+                        preds = self.model.forward_batch(
+                            collate([s.features for s in samples]))
+                        ys = Tensor(np.array(
+                            [s.occupancy for s in samples]))
+                        loss = ((preds - ys) ** 2).sum() \
+                            * (1.0 / len(batch))
+                    else:
+                        loss = None
+                        # perf: per-sample-ok — reference path kept for
+                        # models without forward_batch and for the
+                        # batched-equivalence tests.
+                        for i in batch:
+                            sample = train[i]
+                            pred = self.model(sample.features)
+                            err = (pred - sample.occupancy) ** 2
+                            loss = err if loss is None else loss + err
+                        loss = loss * (1.0 / len(batch))
                     loss.backward()
                     clip_grad_norm(self.model.parameters(), cfg.grad_clip)
                     self.optimizer.step()
@@ -301,6 +333,10 @@ class Trainer:
         """Inference-only predictions for every sample in ``dataset``."""
         self.model.eval()
         with no_grad():
+            # perf: per-sample-ok — evaluation reference path; eval
+            # sets mix graph sizes, where dense batching mostly pads
+            # (see perf_batch_pad_waste).  Batched inference is
+            # DNNOccu.predict_batch.
             return np.array([float(self.model(s.features).data)
                              for s in dataset])
 

@@ -22,6 +22,7 @@ unseen models without renormalization.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -120,16 +121,18 @@ _DEVICE_DIM = 5
 _SHAPE_DIMS = 4
 
 
+@functools.lru_cache(maxsize=None)
 def node_feature_dim() -> int:
-    """Length of the node feature vector."""
+    """Length of the node feature vector (memoized; called per encode)."""
     # one-hot + hyperparams + (temp, in, flops, out) + log shape +
     # linear batch channel + device
     return (len(OP_TYPES) + len(_HPARAM_SLOTS) + 4 + _SHAPE_DIMS + 1
             + _DEVICE_DIM)
 
 
+@functools.lru_cache(maxsize=None)
 def edge_feature_dim() -> int:
-    """Length of the edge feature vector."""
+    """Length of the edge feature vector (memoized; called per encode)."""
     return len(_EDGE_TYPES) + 2
 
 
@@ -174,23 +177,31 @@ def encode_edge(edge: DataEdge, device: DeviceSpec) -> np.ndarray:
     ])
 
 
-def feature_blocks() -> dict[str, slice]:
-    """Column ranges of each logical block in the node feature vector.
-
-    Used by feature-ablation experiments to zero out one block at a time.
-    """
+@functools.lru_cache(maxsize=None)
+def _feature_block_items() -> tuple[tuple[str, slice], ...]:
+    """Memoized immutable form of :func:`feature_blocks`."""
     n_op = len(OP_TYPES)
     n_hp = len(_HPARAM_SLOTS)
-    blocks = {}
+    items = []
     start = 0
     for name, width in (("op_type", n_op), ("hyperparams", n_hp),
                         ("sizes", 2), ("flops", 1), ("out_size", 1),
                         ("shape", _SHAPE_DIMS), ("batch_linear", 1),
                         ("device", _DEVICE_DIM)):
-        blocks[name] = slice(start, start + width)
+        items.append((name, slice(start, start + width)))
         start += width
     assert start == node_feature_dim()
-    return blocks
+    return tuple(items)
+
+
+def feature_blocks() -> dict[str, slice]:
+    """Column ranges of each logical block in the node feature vector.
+
+    Used by feature-ablation experiments to zero out one block at a time.
+    The layout is memoized; callers get a fresh dict each time, so the
+    cache can never be mutated through a returned mapping.
+    """
+    return dict(_feature_block_items())
 
 
 def zero_feature_block(features: "GraphFeatures", block: str,
@@ -243,15 +254,110 @@ class GraphFeatures:
         return self.edge_index.shape[1]
 
 
+def _log_scale_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_log_scale`: bit-identical per element."""
+    return np.log1p(np.maximum(0.0, x)) / _LOG_SCALE
+
+
+def _encode_nodes(nodes: list[OpNode], device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`encode_node` over all nodes of one graph.
+
+    Python only *gathers* per-node attributes into raw value matrices;
+    every transform (``log1p`` compression, clipping, scaling) runs as
+    one array op per feature block.  Each output row is bit-identical to
+    :func:`encode_node` on that node.
+    """
+    n = len(nodes)
+    blocks = feature_blocks()
+    nf = np.zeros((n, node_feature_dim()))
+    rows = np.arange(n)
+
+    op_idx = np.fromiter((op_type_index(nd.op_type) for nd in nodes),
+                         dtype=np.intp, count=n)
+    nf[rows, blocks["op_type"].start + op_idx] = 1.0
+
+    # Hyperparameters: raw values + fill mask per slot, scaled in bulk.
+    hp_raw = np.zeros((n, len(_HPARAM_SLOTS)))
+    hp_mask = np.zeros((n, len(_HPARAM_SLOTS)), dtype=bool)
+
+    def put(i: int, slot: str, v) -> None:
+        j = _HPARAM_SLOTS.index(slot)
+        hp_raw[i, j] = float(v)
+        hp_mask[i, j] = True
+
+    for i, nd in enumerate(nodes):
+        a = nd.attrs
+        if "kernel_size" in a:
+            put(i, "kernel_r", a["kernel_size"][0])
+            put(i, "kernel_s", a["kernel_size"][1])
+        if "stride" in a:
+            put(i, "stride_h", a["stride"][0])
+            put(i, "stride_w", a["stride"][1])
+        if "padding" in a:
+            put(i, "padding_h", a["padding"][0])
+            put(i, "padding_w", a["padding"][1])
+        for key in ("groups", "in_channels", "out_channels", "in_features",
+                    "out_features", "hidden_size", "seq_len", "batch",
+                    "embed_dim", "axis"):
+            if key in a:
+                put(i, key, a[key])
+    hp = np.where(hp_mask, _log_scale_array(hp_raw), 0.0)
+    axis_col = _HPARAM_SLOTS.index("axis")
+    hp[:, axis_col] = np.where(hp_mask[:, axis_col],
+                               hp_raw[:, axis_col] / 8.0, 0.0)
+    nf[:, blocks["hyperparams"]] = hp
+
+    sizes_raw = np.array([[nd.temp_bytes, nd.input_numel] for nd in nodes],
+                         dtype=np.float64).reshape(n, 2)
+    nf[:, blocks["sizes"]] = _log_scale_array(sizes_raw)
+    nf[:, blocks["flops"]] = _log_scale_array(np.array(
+        [[nd.flops] for nd in nodes], dtype=np.float64).reshape(n, 1))
+    nf[:, blocks["out_size"]] = _log_scale_array(np.array(
+        [[nd.output_numel] for nd in nodes],
+        dtype=np.float64).reshape(n, 1))
+
+    shape_raw = np.zeros((n, _SHAPE_DIMS))
+    shape_mask = np.zeros((n, _SHAPE_DIMS), dtype=bool)
+    batch_raw = np.zeros(n)
+    for i, nd in enumerate(nodes):
+        dims = nd.output_shape[:_SHAPE_DIMS]
+        shape_raw[i, :len(dims)] = dims
+        shape_mask[i, :len(dims)] = True
+        batch_raw[i] = nd.output_shape[0] if nd.output_shape else 0.0
+    nf[:, blocks["shape"]] = np.where(shape_mask,
+                                      _log_scale_array(shape_raw), 0.0)
+    nf[:, blocks["batch_linear"]] = \
+        np.minimum(4.0, batch_raw / 128.0).reshape(n, 1)
+
+    # Hoisted: one device vector broadcast to all rows (previously
+    # rebuilt per node).
+    nf[:, blocks["device"]] = _device_vector(device)
+    return nf
+
+
 def encode_graph(graph: ComputationGraph,
                  device: DeviceSpec) -> GraphFeatures:
-    """Encode a full computation graph for ``device``."""
+    """Encode a full computation graph for ``device``.
+
+    Vectorized over nodes and edges: rows are bit-identical to stacking
+    :func:`encode_node` / :func:`encode_edge` (the scalar reference
+    implementations, kept for single-item callers and as the equivalence
+    oracle in the test suite).
+    """
     order = sorted(graph.nodes)
     pos = {nid: i for i, nid in enumerate(order)}
-    nf = np.stack([encode_node(graph.nodes[nid], device) for nid in order]) \
+    nf = _encode_nodes([graph.nodes[nid] for nid in order], device) \
         if order else np.zeros((0, node_feature_dim()))
     if graph.edges:
-        ef = np.stack([encode_edge(e, device) for e in graph.edges])
+        m = len(graph.edges)
+        ef = np.zeros((m, edge_feature_dim()))
+        etype = np.fromiter((_EDGE_TYPES.index(e.edge_type)
+                             for e in graph.edges), dtype=np.intp, count=m)
+        ef[np.arange(m), etype] = 1.0
+        ef[:, len(_EDGE_TYPES)] = _log_scale_array(np.fromiter(
+            (e.tensor_numel for e in graph.edges), dtype=np.float64,
+            count=m))
+        ef[:, len(_EDGE_TYPES) + 1] = device.mem_bandwidth_gbs / 2500.0
         ei = np.array([[pos[e.src] for e in graph.edges],
                        [pos[e.dst] for e in graph.edges]], dtype=np.intp)
     else:

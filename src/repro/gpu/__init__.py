@@ -4,8 +4,8 @@ from .device import A100, DEVICES, P40, RTX2080TI, DeviceSpec, get_device, WARP_
 from .occupancy import OccupancyResult, achieved_occupancy, theoretical_occupancy
 from .kernels import GemmShape, KernelLaunch, lower_node
 from .profiler import (KernelRecord, OutOfMemoryError, ProfileResult,
-                       check_memory_or_raise, estimate_memory_bytes,
-                       profile_graph)
+                       SIMULATOR_VERSION, check_memory_or_raise,
+                       estimate_memory_bytes, profile_graph)
 from .trace import occupancy_report, to_chrome_trace
 from .fusion import FUSABLE_OPS, HEAVY_OPS, fuse_elementwise
 from .colocation import BANDWIDTH_TAX, calibrate_interference, co_run, pair_slowdown
@@ -18,7 +18,7 @@ __all__ = [
     "WARP_SIZE",
     "OccupancyResult", "theoretical_occupancy", "achieved_occupancy",
     "KernelLaunch", "GemmShape", "lower_node",
-    "KernelRecord", "ProfileResult", "profile_graph",
+    "KernelRecord", "ProfileResult", "profile_graph", "SIMULATOR_VERSION",
     "estimate_memory_bytes", "check_memory_or_raise", "OutOfMemoryError",
     "to_chrome_trace", "occupancy_report",
     "fuse_elementwise", "FUSABLE_OPS", "HEAVY_OPS",

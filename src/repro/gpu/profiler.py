@@ -38,7 +38,13 @@ OCCUPANCY_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 __all__ = ["KernelRecord", "ProfileResult", "profile_graph",
            "estimate_memory_bytes", "check_memory_or_raise",
-           "OutOfMemoryError"]
+           "OutOfMemoryError", "SIMULATOR_VERSION"]
+
+#: version stamp of the simulator's cost model.  Part of every
+#: :mod:`repro.perf.cache` key — bump it whenever the occupancy, duration,
+#: memory, or lowering math changes, so stale cached profiles can never be
+#: served for a different simulator.
+SIMULATOR_VERSION = 1
 
 #: CPU-side framework overhead per operator dispatch (seconds).  PyTorch
 #: eager-mode op dispatch costs on the order of 5-20 us.

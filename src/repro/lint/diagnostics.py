@@ -76,6 +76,7 @@ CODE_TABLE: dict[str, str] = {
     "S002": "float equality (`==`/`!=`) on an occupancy value",
     "S003": "module missing `__all__`",
     "S004": "raw `time.sleep` outside the resilience backoff helper",
+    "S005": "per-sample Python loop over a dataset in repro.core",
     # feature/label pre-flight (trainer fail-fast)
     "F001": "non-finite value in an encoded feature matrix",
     "F002": "occupancy label outside [0, 1]",

@@ -1,4 +1,4 @@
-"""AST-based self-lint passes (codes ``S000``–``S003``).
+"""AST-based self-lint passes (codes ``S000``–``S005``).
 
 These enforce repo-wide source conventions over ``src/repro`` using only
 the stdlib :mod:`ast` module:
@@ -14,7 +14,11 @@ the stdlib :mod:`ast` module:
 * ``S004`` — no raw ``time.sleep`` calls outside the sanctioned backoff
   helper (``repro/resilience/backoff.py``); ad-hoc sleeps are unbounded,
   untestable, and invisible to the fault model — retry delays must go
-  through :class:`repro.resilience.ExponentialBackoff`.
+  through :class:`repro.resilience.ExponentialBackoff`;
+* ``S005`` — no per-sample Python loops over datasets inside
+  ``repro/core/`` (WARNING): the batched/vectorized paths exist so the
+  hot loop runs in NumPy; deliberate per-sample code opts out with a
+  ``# perf: per-sample-ok`` comment explaining why.
 
 ``S000`` (syntax error) is emitted by the pass manager itself when a
 file fails to parse.
@@ -28,7 +32,7 @@ from .diagnostics import Diagnostic, Severity
 from .manager import LintPass, SourceContext
 
 __all__ = ["BareExceptPass", "FloatEqualityPass", "DunderAllPass",
-           "SleepRetryPass", "SOURCE_PASSES"]
+           "SleepRetryPass", "PerSampleLoopPass", "SOURCE_PASSES"]
 
 
 class BareExceptPass(LintPass):
@@ -153,5 +157,137 @@ class SleepRetryPass(LintPass):
             if isinstance(node, ast.Call) and _is_sleep_call(node)]
 
 
+_OPT_OUT = "perf: per-sample-ok"
+#: how many lines above a loop the opt-out comment may sit (it is
+#: usually a multi-line justification ending at the loop header)
+_OPT_OUT_REACH = 4
+
+
+def _dataset_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set:
+    """Parameter names whose annotation mentions ``Dataset``."""
+    names: set[str] = set()
+    a = fn.args
+    for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+        ann = arg.annotation
+        if ann is None:
+            continue
+        for sub in ast.walk(ann):
+            if (isinstance(sub, ast.Name) and sub.id == "Dataset") or \
+                    (isinstance(sub, ast.Attribute)
+                     and sub.attr == "Dataset") or \
+                    (isinstance(sub, ast.Constant)
+                     and isinstance(sub.value, str)
+                     and "Dataset" in sub.value):
+                names.add(arg.arg)
+                break
+    return names
+
+
+def _iterates_dataset(it: ast.expr, params: set) -> bool:
+    """True when a loop iterable walks a dataset sample-by-sample."""
+    # for s in ds / for s in ds.samples / for s in ds.anything
+    if isinstance(it, ast.Name) and it.id in params:
+        return True
+    if isinstance(it, ast.Attribute) and it.attr == "samples":
+        return True
+    # for i, s in enumerate(ds) / for i in range(len(ds))
+    if isinstance(it, ast.Call) and isinstance(it.func, ast.Name):
+        if it.func.id == "enumerate" and it.args and \
+                _iterates_dataset(it.args[0], params):
+            return True
+        if it.func.id == "range" and it.args:
+            inner = it.args[-1]
+            if isinstance(inner, ast.Call) \
+                    and isinstance(inner.func, ast.Name) \
+                    and inner.func.id == "len" and inner.args \
+                    and _iterates_dataset(inner.args[0], params):
+                return True
+    return False
+
+
+def _subscripts_dataset(body: list, target: ast.expr, params: set) -> bool:
+    """True when a loop body indexes a dataset with the loop variable."""
+    if not isinstance(target, ast.Name):
+        return False
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Subscript) \
+                    and isinstance(sub.value, ast.Name) \
+                    and sub.value.id in params \
+                    and any(isinstance(n, ast.Name) and n.id == target.id
+                            for n in ast.walk(sub.slice)):
+                return True
+    return False
+
+
+class PerSampleLoopPass(LintPass):
+    """S005: flag per-sample Python loops in the model/training core.
+
+    ``src/repro/core/`` owns the numeric hot paths; a Python-level loop
+    over dataset samples there (``for s in ds``, ``for i in
+    range(len(ds))``, iterating ``.samples``, or indexing a ``Dataset``
+    parameter element-by-element) is usually work that the batched /
+    vectorized paths (``forward_batch``, ``collate``,
+    ``encode_graph``) were built to replace.
+
+    Deliberate per-sample code — reference implementations, equivalence
+    oracles, O(batch) gathers — opts out with a ``# perf:
+    per-sample-ok`` comment on the loop line or just above it, stating
+    *why* the loop is not a hot path.
+    """
+
+    name = "per-sample-loop"
+    family = "source"
+    codes = ("S005",)
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        path = ctx.path.replace("\\", "/")
+        if "/core/" not in path and not path.startswith("core/"):
+            return []
+        lines = ctx.source.splitlines()
+
+        def opted_out(lineno: int) -> bool:
+            lo = max(0, lineno - 1 - _OPT_OUT_REACH)
+            return any(_OPT_OUT in ln for ln in lines[lo:lineno])
+
+        diags: list[Diagnostic] = []
+
+        def flag(node: ast.AST) -> None:
+            if opted_out(node.lineno):
+                return
+            diags.append(Diagnostic(
+                code="S005", severity=Severity.WARNING,
+                message="per-sample Python loop over a dataset in the "
+                        "core hot path",
+                target=ctx.path, pass_name=self.name, file=ctx.path,
+                line=node.lineno,
+                fix_hint="use the batched/vectorized path (collate + "
+                         "forward_batch), or annotate the loop with "
+                         f"`# {_OPT_OUT} -- <reason>` if it is "
+                         "deliberately per-sample"))
+
+        def visit(node: ast.AST, params: set) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = params | _dataset_params(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child, params)
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _iterates_dataset(node.iter, params) or \
+                        _subscripts_dataset(node.body, node.target,
+                                            params):
+                    flag(node)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _iterates_dataset(gen.iter, params) or \
+                            _subscripts_dataset([node], gen.target,
+                                                params):
+                        flag(node)
+                        break
+
+        visit(ctx.tree, set())
+        return diags
+
+
 SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass,
-                 SleepRetryPass)
+                 SleepRetryPass, PerSampleLoopPass)

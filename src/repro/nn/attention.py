@@ -41,11 +41,22 @@ class MultiHeadAttention(Module):
                 attn_bias: Tensor | None = None) -> Tensor:
         """Attend ``query`` over ``key_value`` (defaults to self-attention).
 
-        ``attn_bias`` — optional additive bias of shape ``(n_q, n_kv)``
-        applied to every head's pre-softmax scores.  Graphormer uses this
-        slot for its structural (shortest-path / edge) encodings.
+        Accepts a single set ``(n, dim)`` or a batch of padded sets
+        ``(B, n, dim)``; with batched inputs every attention matrix is
+        computed per batch element, so sets never attend across the batch
+        axis.
+
+        ``attn_bias`` — optional additive bias applied to every head's
+        pre-softmax scores.  Shape ``(n_q, n_kv)`` for single sets;
+        ``(B, n_q, n_kv)`` or ``(B, 1, n_kv)`` (a pure key mask,
+        broadcast over queries) for batched ones.  Graphormer uses this
+        slot for its structural (shortest-path) encodings, and the
+        batched execution path adds the ``-1e30`` validity mask that
+        zeroes attention onto padded node slots.
         """
         kv = query if key_value is None else key_value
+        if query.ndim == 3:
+            return self._forward_batched(query, kv, attn_bias)
         n_q = query.shape[0]
         n_kv = kv.shape[0]
         h, d = self.num_heads, self.head_dim
@@ -61,6 +72,29 @@ class MultiHeadAttention(Module):
         weights = scores.softmax(axis=-1)
         out = weights @ v  # (heads, n_q, head_dim)
         out = out.transpose(1, 0, 2).reshape(n_q, self.dim)
+        return self.w_o(out)
+
+    def _forward_batched(self, query: Tensor, kv: Tensor,
+                         attn_bias: Tensor | None) -> Tensor:
+        """Batched attention over padded sets: ``(B, n, dim)`` inputs."""
+        b, n_q, _ = query.shape
+        n_kv = kv.shape[1]
+        h, d = self.num_heads, self.head_dim
+
+        # (B, n, dim) -> (B, heads, n, head_dim)
+        q = self.w_q(query).reshape(b, n_q, h, d).transpose(0, 2, 1, 3)
+        k = self.w_k(kv).reshape(b, n_kv, h, d).transpose(0, 2, 1, 3)
+        v = self.w_v(kv).reshape(b, n_kv, h, d).transpose(0, 2, 1, 3)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(d))
+        if attn_bias is not None:
+            # (B, n_q|1, n_kv) -> (B, 1, n_q|1, n_kv): broadcast over
+            # heads (and over queries for pure key masks).
+            scores = scores + attn_bias.reshape(
+                b, 1, attn_bias.shape[1], n_kv)
+        weights = scores.softmax(axis=-1)
+        out = weights @ v  # (B, heads, n_q, head_dim)
+        out = out.transpose(0, 2, 1, 3).reshape(b, n_q, self.dim)
         return self.w_o(out)
 
 

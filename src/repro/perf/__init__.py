@@ -1,0 +1,17 @@
+"""repro.perf: the performance layer.
+
+Three prongs (see docs/performance.md):
+
+* :mod:`repro.perf.batching` — masked dense batching so DNN-occu runs one
+  vectorized forward/backward per minibatch;
+* :mod:`repro.perf.cache` — content-addressed on-disk cache for profiled
+  and encoded (graph, device) pairs;
+* :mod:`repro.perf.bench` — the micro-benchmark harness behind the
+  ``repro bench`` CLI gate.
+"""
+
+from .batching import NEG_INF, GraphBatch, collate, ensure_spd
+from .cache import ProfileCache, cache_key
+
+__all__ = ["NEG_INF", "GraphBatch", "collate", "ensure_spd",
+           "ProfileCache", "cache_key"]

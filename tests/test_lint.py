@@ -281,6 +281,57 @@ def test_s004_ignores_other_attributes(tmp_path):
     assert not c
 
 
+_S005_LOOPS = (
+    "__all__ = []\n"
+    "def fit(train: Dataset, val):\n"
+    "    for s in train:\n"
+    "        s.features\n"
+    "    for i in range(len(train)):\n"
+    "        train[i]\n"
+    "    for s in train.samples:\n"
+    "        s.occupancy\n"
+    "    [train[i] for i in order]\n"
+)
+
+
+def _lint_core_source(tmp_path, text: str) -> Counter:
+    (tmp_path / "core").mkdir(exist_ok=True)
+    f = tmp_path / "core" / "mod.py"
+    f.write_text(text)
+    return codes(lint_paths([str(f)]))
+
+
+def test_s005_per_sample_loops_in_core(tmp_path):
+    c = _lint_core_source(tmp_path, _S005_LOOPS)
+    assert c["S005"] == 4
+    assert set(c) == {"S005"}
+
+
+def test_s005_outside_core_exempt(tmp_path):
+    assert not _lint_source(tmp_path, _S005_LOOPS)
+
+
+def test_s005_opt_out_comment(tmp_path):
+    c = _lint_core_source(tmp_path,
+                          "__all__ = []\n"
+                          "def fit(train: Dataset):\n"
+                          "    # perf: per-sample-ok -- reference path\n"
+                          "    for s in train:\n"
+                          "        s.features\n")
+    assert not c
+
+
+def test_s005_ignores_plain_loops(tmp_path):
+    c = _lint_core_source(tmp_path,
+                          "__all__ = []\n"
+                          "def fit(xs, train: Dataset):\n"
+                          "    for x in xs:\n"
+                          "        x + 1\n"
+                          "    for e in edges:\n"
+                          "        e.src\n")
+    assert not c
+
+
 def test_directory_lint_recurses(tmp_path):
     (tmp_path / "sub").mkdir()
     (tmp_path / "sub" / "a.py").write_text("x = 1\n")
