@@ -37,6 +37,10 @@ echo "== perf gates: batched training / parallel+cached generation =="
 python -m repro bench --scale "$SCALE" \
     --out benchmarks/results/BENCH_perf.json --check
 
+echo "== serving gates: micro-batch throughput / warm cache / overload =="
+python -m repro serve-bench --scale "$SCALE" \
+    --out benchmarks/results/BENCH_serve.json --check
+
 echo "== reproduce every table and figure (scale=$SCALE) =="
 REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \
     | tee bench_output.txt

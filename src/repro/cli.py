@@ -15,7 +15,11 @@ Three subcommands mirror the system's three roles:
 * ``lint`` — static diagnostics: graph-IR passes over zoo models or
   serialized graphs, cross-registry coverage checks, and an AST
   self-lint (``--self``).  Exit code 0 = clean, 1 = ERROR diagnostics,
-  2 = usage error.
+  2 = usage error;
+* ``serve-bench`` — the serving suite: micro-batched throughput,
+  warm-cache hit path, concurrent-client latency (p50/p99), zoo
+  equivalence, and overload shedding.  ``--check`` turns the serve
+  gates into a CI gate (``repro bench --check`` includes them too).
 
 Observability: ``profile`` / ``schedule`` / ``trace`` accept
 ``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
@@ -44,7 +48,6 @@ import numpy as np
 from . import __version__, obs
 from .core import DNNOccu, DNNOccuConfig, TrainConfig, Trainer
 from .data import SEEN_MODELS, generate_dataset
-from .features import encode_graph
 from .gpu import get_device, profile_graph
 from .models import ModelConfig, build_model, list_models
 from .sched import (NvmlUtilPacking, OccuPacking, SlotPacking,
@@ -190,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload multiplier (CI uses small scales)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero if any perf gate fails")
+
+    p = sub.add_parser(
+        "serve-bench", help="run the serving throughput/latency gates")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the BENCH_serve.json document here")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload multiplier (CI uses small scales)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any serve gate fails")
     return parser
 
 
@@ -233,7 +245,11 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                                seed=args.seed)).fit(train)
 
     graph = build_model(args.target, _config(args))
-    predicted = model.predict(encode_graph(graph, device))
+    # Through the serving facade: a single serial request dispatches the
+    # per-graph forward, bit-identical to calling model.predict directly.
+    from .serve import PredictorService
+    with PredictorService(model, device) as service:
+        predicted = service.predict(graph)
     prof = profile_graph(graph, device)
     rel = abs(predicted - prof.occupancy) / prof.occupancy
     print(f"{args.target} (batch {args.batch}) on {device.name}")
@@ -389,6 +405,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import save_results
+    from .serve.bench import format_serve_summary, run_serve_benchmarks
+    results = run_serve_benchmarks(scale=args.scale)
+    print(format_serve_summary(results))
+    if args.out:
+        save_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check and not all(results["gates"].values()):
+        failed = [k for k, v in results["gates"].items() if not v]
+        print(f"serve gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level:
@@ -397,7 +428,8 @@ def main(argv: list[str] | None = None) -> int:
                "schedule": _cmd_schedule, "chaos": _cmd_chaos,
                "trace": _cmd_trace, "obs": _cmd_obs,
                "dataset": _cmd_dataset, "lint": _cmd_lint,
-               "bench": _cmd_bench}[args.command]
+               "bench": _cmd_bench,
+               "serve-bench": _cmd_serve_bench}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

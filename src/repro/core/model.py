@@ -16,7 +16,7 @@ from ..features import GraphFeatures, edge_feature_dim, node_feature_dim
 from ..nn import Linear
 from ..tensor import Module, ModuleList, Tensor
 from .anee import ANEELayer
-from .graphormer import GraphormerLayer, spatial_encoding
+from .graphormer import GraphormerLayer
 from .set_transformer import SetTransformerDecoder
 
 __all__ = ["DNNOccuConfig", "DNNOccu"]
@@ -133,23 +133,38 @@ class DNNOccu(Module):
         with no_grad():
             return float(self.forward(features).data)
 
-    def predict_batch(self, features_list) -> np.ndarray:
-        """Inference-only predictions for many graphs in one forward."""
+    def predict_batch(self, features_list,
+                      batch_size: int | None = None) -> np.ndarray:
+        """Inference-only predictions for many graphs in one forward.
+
+        With ``batch_size`` set, members are size-bucketed (sorted by node
+        count, chunked, results scattered back to input order) so each
+        chunk pads to a near-uniform size instead of the global maximum.
+        """
         # Imported lazily: core must not depend on perf at import time.
-        from ..perf.batching import collate
+        from ..perf.batching import bucket_by_size, collate
         from ..tensor import no_grad
         feats = list(features_list)
         if not feats:
             return np.zeros(0)
         with no_grad():
-            return np.array(self.forward_batch(collate(feats)).data)
+            if batch_size is None:
+                return np.array(self.forward_batch(collate(feats)).data)
+            out = np.zeros(len(feats))
+            for idx, chunk in bucket_by_size(feats, batch_size):
+                out[idx] = np.asarray(
+                    self.forward_batch(collate(chunk)).data)
+            return out
 
     @staticmethod
     def _spd(features: GraphFeatures) -> np.ndarray:
-        """Cached shortest-path-distance buckets for the graph."""
-        cached = getattr(features, "_spd_cache", None)
-        if cached is None:
-            cached = spatial_encoding(features.num_nodes,
-                                      features.edge_index)
-            object.__setattr__(features, "_spd_cache", cached)
-        return cached
+        """Cached shortest-path-distance buckets for the graph.
+
+        Delegates to :func:`repro.perf.batching.ensure_spd`, whose memo is
+        keyed by the *content hash* of the topology — a fresh
+        ``GraphFeatures`` object for an already-seen structure reuses the
+        matrix instead of recomputing it per object.
+        """
+        # Imported lazily: core must not depend on perf at import time.
+        from ..perf.batching import ensure_spd
+        return ensure_spd(features)

@@ -8,7 +8,8 @@ from .profiler import (KernelRecord, OutOfMemoryError, ProfileResult,
                        estimate_memory_bytes, profile_graph)
 from .trace import occupancy_report, to_chrome_trace
 from .fusion import FUSABLE_OPS, HEAVY_OPS, fuse_elementwise
-from .colocation import BANDWIDTH_TAX, calibrate_interference, co_run, pair_slowdown
+from .colocation import (BANDWIDTH_TAX, calibrate_interference, co_run,
+                         pair_slowdown, plan_colocation)
 from .memory import (ALLOCATOR_OVERHEAD_BYTES, peak_activation_bytes,
                      peak_memory_breakdown, peak_memory_bytes, weight_bytes)
 from .training import lower_backward, profile_training_graph
@@ -22,7 +23,8 @@ __all__ = [
     "estimate_memory_bytes", "check_memory_or_raise", "OutOfMemoryError",
     "to_chrome_trace", "occupancy_report",
     "fuse_elementwise", "FUSABLE_OPS", "HEAVY_OPS",
-    "co_run", "pair_slowdown", "calibrate_interference", "BANDWIDTH_TAX",
+    "co_run", "pair_slowdown", "calibrate_interference",
+    "plan_colocation", "BANDWIDTH_TAX",
     "peak_activation_bytes", "weight_bytes", "peak_memory_bytes",
     "peak_memory_breakdown", "ALLOCATOR_OVERHEAD_BYTES",
     "profile_training_graph", "lower_backward",

@@ -30,7 +30,7 @@ import numpy as np
 from .profiler import ProfileResult
 
 __all__ = ["co_run", "pair_slowdown", "calibrate_interference",
-           "BANDWIDTH_TAX"]
+           "plan_colocation", "BANDWIDTH_TAX"]
 
 #: fractional rate loss per unit of co-runner occupancy (cache/DRAM sharing)
 BANDWIDTH_TAX = 0.25
@@ -124,6 +124,46 @@ def pair_slowdown(prof_a: ProfileResult,
     """
     t_a, t_b = co_run([prof_a, prof_b])
     return t_a / prof_a.wall_time_s, t_b / prof_b.wall_time_s
+
+
+def plan_colocation(service, graphs, device=None, cap: float = 1.0,
+                    max_residents: int | None = None) -> list[list[int]]:
+    """Occu-pack graphs into co-location groups via the serving layer.
+
+    The paper's deployment loop (Sec. V): query the predictor for each
+    candidate model's occupancy *before* execution, then pack models onto
+    a device while the predicted occupancy sum stays under ``cap``.
+    Predictions go through ``service`` — a
+    :class:`repro.serve.PredictorService` (its ``predict_many`` bulk path
+    amortizes one batched forward over the whole candidate set) — never
+    through direct per-graph model calls; the S006 lint pass enforces
+    that boundary.
+
+    Packs first-fit-decreasing on predicted occupancy; ``max_residents``
+    optionally bounds the number of co-resident models per group.
+    Returns groups of indices into ``graphs``.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        return []
+    occs = np.clip(service.predict_many(graphs, device), 0.0, 1.0)
+    order = sorted(range(len(graphs)), key=lambda i: -occs[i])
+    groups: list[list[int]] = []
+    loads: list[float] = []
+    for i in order:
+        for g, load in enumerate(loads):
+            if load + occs[i] <= cap and (
+                    max_residents is None
+                    or len(groups[g]) < max_residents):
+                groups[g].append(i)
+                loads[g] = load + occs[i]
+                break
+        else:
+            groups.append([i])
+            loads.append(float(occs[i]))
+    for group in groups:
+        group.sort()
+    return groups
 
 
 def calibrate_interference(profiles: list[ProfileResult],

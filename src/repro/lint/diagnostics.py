@@ -77,6 +77,8 @@ CODE_TABLE: dict[str, str] = {
     "S003": "module missing `__all__`",
     "S004": "raw `time.sleep` outside the resilience backoff helper",
     "S005": "per-sample Python loop over a dataset in repro.core",
+    "S006": "direct model predict call on the online path (use "
+            "PredictorService)",
     # feature/label pre-flight (trainer fail-fast)
     "F001": "non-finite value in an encoded feature matrix",
     "F002": "occupancy label outside [0, 1]",

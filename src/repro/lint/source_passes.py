@@ -1,4 +1,4 @@
-"""AST-based self-lint passes (codes ``S000``–``S005``).
+"""AST-based self-lint passes (codes ``S000``–``S006``).
 
 These enforce repo-wide source conventions over ``src/repro`` using only
 the stdlib :mod:`ast` module:
@@ -18,7 +18,13 @@ the stdlib :mod:`ast` module:
 * ``S005`` — no per-sample Python loops over datasets inside
   ``repro/core/`` (WARNING): the batched/vectorized paths exist so the
   hot loop runs in NumPy; deliberate per-sample code opts out with a
-  ``# perf: per-sample-ok`` comment explaining why.
+  ``# perf: per-sample-ok`` comment explaining why;
+* ``S006`` — no direct ``model.predict`` / ``model.predict_batch`` calls
+  on the online path (``repro/sched/``, ``repro/gpu/colocation.py``):
+  occupancy queries there go through
+  :class:`repro.serve.PredictorService` (micro-batching, request cache,
+  overload shedding); deliberate direct calls opt out with a
+  ``# serve: direct-predict-ok`` comment.
 
 ``S000`` (syntax error) is emitted by the pass manager itself when a
 file fails to parse.
@@ -32,7 +38,8 @@ from .diagnostics import Diagnostic, Severity
 from .manager import LintPass, SourceContext
 
 __all__ = ["BareExceptPass", "FloatEqualityPass", "DunderAllPass",
-           "SleepRetryPass", "PerSampleLoopPass", "SOURCE_PASSES"]
+           "SleepRetryPass", "PerSampleLoopPass", "DirectPredictPass",
+           "SOURCE_PASSES"]
 
 
 class BareExceptPass(LintPass):
@@ -289,5 +296,72 @@ class PerSampleLoopPass(LintPass):
         return diags
 
 
+_SERVE_OPT_OUT = "serve: direct-predict-ok"
+
+
+def _terminal_receiver(func: ast.Attribute) -> str:
+    """Name of the object a ``x.y.predict(...)`` call is invoked on."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return ""
+
+
+class DirectPredictPass(LintPass):
+    """S006: flag direct model ``predict`` calls on the online path.
+
+    ``sched/`` and ``gpu/colocation.py`` are the online consumers of
+    occupancy predictions; calling ``model.predict`` /
+    ``model.predict_batch`` there bypasses the serving layer's
+    micro-batching, request cache, and overload shedding
+    (:class:`repro.serve.PredictorService` — which is itself exempt: a
+    receiver whose name contains ``service`` IS the sanctioned surface).
+    Deliberate direct calls (oracles, calibration one-offs) opt out with
+    a ``# serve: direct-predict-ok`` comment on or just above the call.
+    """
+
+    name = "direct-predict"
+    family = "source"
+    codes = ("S006",)
+
+    _GUARDED = ("predict", "predict_batch")
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        path = ctx.path.replace("\\", "/")
+        if "/sched/" not in path and not path.startswith("sched/") \
+                and not path.endswith("gpu/colocation.py"):
+            return []
+        lines = ctx.source.splitlines()
+
+        def opted_out(lineno: int) -> bool:
+            lo = max(0, lineno - 1 - _OPT_OUT_REACH)
+            return any(_SERVE_OPT_OUT in ln for ln in lines[lo:lineno])
+
+        diags: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._GUARDED):
+                continue
+            receiver = _terminal_receiver(node.func)
+            if "service" in receiver.lower():
+                continue
+            if opted_out(node.lineno):
+                continue
+            diags.append(Diagnostic(
+                code="S006", severity=Severity.ERROR,
+                message=f"direct `.{node.func.attr}(...)` on the online "
+                        "path bypasses the serving layer",
+                target=ctx.path, pass_name=self.name, file=ctx.path,
+                line=node.lineno,
+                fix_hint="route the query through repro.serve."
+                         "PredictorService (predict/predict_many), or "
+                         f"annotate with `# {_SERVE_OPT_OUT} -- <reason>`"
+                         " if the direct call is deliberate"))
+        return diags
+
+
 SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass,
-                 SleepRetryPass, PerSampleLoopPass)
+                 SleepRetryPass, PerSampleLoopPass, DirectPredictPass)

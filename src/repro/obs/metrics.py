@@ -137,6 +137,38 @@ class Histogram(_Metric):
                     self.bucket_counts[i] += 1
                     break
 
+    def quantile(self, q: float) -> float:
+        """Prometheus-style ``histogram_quantile``: linear interpolation.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        q-th observation and interpolates linearly within it (lower edge 0
+        for the first bucket).  Returns ``nan`` with no observations and
+        the last finite bound when the quantile lands past it — the same
+        conventions PromQL uses.  Bucket-resolution accuracy only; serve
+        latency summaries (p50/p99) accept that tradeoff for O(1) memory.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            count = self.count
+            cumulative = []
+            running = 0
+            for c in self.bucket_counts:
+                running += c
+                cumulative.append(running)
+        if count == 0:
+            return float("nan")
+        rank = q * count
+        for i, (bound, cum) in enumerate(zip(self.buckets, cumulative)):
+            if cum >= rank:
+                lower = self.buckets[i - 1] if i else 0.0
+                in_bucket = cum - (cumulative[i - 1] if i else 0)
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - (cum - in_bucket)) / in_bucket
+                return lower + (bound - lower) * frac
+        return self.buckets[-1]
+
     def cumulative_counts(self) -> list[int]:
         """Prometheus ``le`` semantics: count of observations <= bound."""
         out, running = [], 0

@@ -10,8 +10,10 @@ Three prongs (see docs/performance.md):
   ``repro bench`` CLI gate.
 """
 
-from .batching import NEG_INF, GraphBatch, collate, ensure_spd
-from .cache import ProfileCache, cache_key
+from .batching import (NEG_INF, GraphBatch, bucket_by_size, clear_spd_memo,
+                       collate, ensure_spd, spd_memo_disabled)
+from .cache import ProfileCache, cache_key, graph_key, structure_key
 
-__all__ = ["NEG_INF", "GraphBatch", "collate", "ensure_spd",
-           "ProfileCache", "cache_key"]
+__all__ = ["NEG_INF", "GraphBatch", "bucket_by_size", "clear_spd_memo",
+           "collate", "ensure_spd", "spd_memo_disabled", "ProfileCache",
+           "cache_key", "graph_key", "structure_key"]

@@ -21,6 +21,9 @@ path up to float reassociation (well within the 1e-6 gate).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,9 +31,11 @@ import numpy as np
 
 from ..core.graphormer import spatial_encoding
 from ..features import GraphFeatures
-from ..obs.metrics import histogram
+from ..obs.metrics import counter, histogram
+from .cache import structure_key
 
-__all__ = ["GraphBatch", "collate", "ensure_spd", "NEG_INF"]
+__all__ = ["GraphBatch", "bucket_by_size", "collate", "ensure_spd",
+           "clear_spd_memo", "spd_memo_disabled", "NEG_INF"]
 
 #: additive pre-softmax bias for invalid (padded) key slots.  Large enough
 #: that ``exp(NEG_INF - max)`` underflows to exactly 0.0, so masked slots
@@ -44,18 +49,80 @@ NEG_INF = -1e30
 _WASTE_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
-def ensure_spd(features: GraphFeatures) -> np.ndarray:
-    """Shortest-path-distance buckets for ``features``, cached on it.
+#: Process-wide SPD memo keyed by graph *structure* content hash
+#: (:func:`repro.perf.cache.structure_key`).  Bounded LRU: serving churns
+#: through unbounded request streams, and an n x n intp matrix per distinct
+#: topology must not grow without limit.
+_SPD_MEMO: OrderedDict[str, np.ndarray] = OrderedDict()
+_SPD_MEMO_LOCK = threading.Lock()
+_SPD_MEMO_CAPACITY = 256
 
-    Shares the ``_spd_cache`` attribute convention with
-    ``DNNOccu._spd`` so per-graph and batched execution reuse one
-    computation, and so the dataset cache can persist the matrix
-    alongside the encoding.
+
+_SPD_MEMO_DISABLED = False
+
+
+def clear_spd_memo() -> None:
+    """Drop every memoized SPD matrix (test isolation helper)."""
+    with _SPD_MEMO_LOCK:
+        _SPD_MEMO.clear()
+
+
+@contextmanager
+def spd_memo_disabled():
+    """Bypass the structure memo inside the block (bench baselines).
+
+    ``repro bench``'s generation gate compares the full feature stack
+    against the *no-feature* baseline; since the memo now speeds up even
+    a single cold generation run (config variants share topology), the
+    baseline must be measured without it.  Per-object ``_spd_cache``
+    behaviour is unchanged.  Process-global, not thread-scoped — bench
+    only.
+    """
+    global _SPD_MEMO_DISABLED
+    prev = _SPD_MEMO_DISABLED
+    _SPD_MEMO_DISABLED = True
+    try:
+        yield
+    finally:
+        _SPD_MEMO_DISABLED = prev
+
+
+def ensure_spd(features: GraphFeatures) -> np.ndarray:
+    """Shortest-path-distance buckets for ``features``, memoized twice over.
+
+    Fast path: the ``_spd_cache`` attribute on the features object itself
+    (shared convention with ``DNNOccu._spd`` and the dataset cache's
+    persisted matrices).  Behind it sits a process-wide LRU keyed by the
+    *content hash* of the topology, so a freshly re-encoded
+    ``GraphFeatures`` for an already-seen structure — the common case on
+    the serving path and in repeated ``predict`` calls — reuses the matrix
+    instead of re-running the O(n^3)-ish shortest-path sweep.
     """
     cached = getattr(features, "_spd_cache", None)
-    if cached is None:
+    if cached is not None:
+        return cached
+    if _SPD_MEMO_DISABLED:
         cached = spatial_encoding(features.num_nodes, features.edge_index)
         object.__setattr__(features, "_spd_cache", cached)
+        return cached
+    key = structure_key(features.num_nodes, features.edge_index)
+    with _SPD_MEMO_LOCK:
+        cached = _SPD_MEMO.get(key)
+        if cached is not None:
+            _SPD_MEMO.move_to_end(key)
+    if cached is None:
+        counter("perf_spd_memo_misses_total",
+                "SPD computations not served by the structure memo").inc()
+        cached = spatial_encoding(features.num_nodes, features.edge_index)
+        with _SPD_MEMO_LOCK:
+            _SPD_MEMO[key] = cached
+            _SPD_MEMO.move_to_end(key)
+            while len(_SPD_MEMO) > _SPD_MEMO_CAPACITY:
+                _SPD_MEMO.popitem(last=False)
+    else:
+        counter("perf_spd_memo_hits_total",
+                "SPD lookups served by the structure memo").inc()
+    object.__setattr__(features, "_spd_cache", cached)
     return cached
 
 
@@ -143,3 +210,27 @@ def collate(features_list: Sequence[GraphFeatures]) -> GraphBatch:
               "fraction of padded node slots per collated minibatch",
               buckets=_WASTE_BUCKETS).observe(batch.pad_waste)
     return batch
+
+
+def bucket_by_size(
+    features_list: Sequence[GraphFeatures], batch_size: int,
+) -> list[tuple[list[int], list[GraphFeatures]]]:
+    """Split ``features_list`` into size-homogeneous collate chunks.
+
+    Members are sorted by node count before chunking, so each chunk pads
+    to a near-uniform ``n_max`` and ``perf_batch_pad_waste`` drops versus
+    arrival-order chunking (a 14-node LeNet padded next to a 347-node ViT
+    wastes ~96% of its slots).  Returns ``(original_indices, chunk)``
+    pairs so callers can scatter chunk results back into arrival order —
+    sorting changes *packing*, never *which* graphs are predicted or what
+    they yield.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = sorted(range(len(features_list)),
+                   key=lambda i: features_list[i].num_nodes)
+    chunks = []
+    for start in range(0, len(order), batch_size):
+        idx = order[start:start + batch_size]
+        chunks.append((idx, [features_list[i] for i in idx]))
+    return chunks

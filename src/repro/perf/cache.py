@@ -40,23 +40,24 @@ from ..obs.metrics import counter
 from ..resilience.checkpoint import (CheckpointError, load_checkpoint,
                                      save_checkpoint)
 
-__all__ = ["ProfileCache", "CacheEntry", "cache_key"]
+__all__ = ["ProfileCache", "CacheEntry", "cache_key", "graph_key",
+           "structure_key"]
 
 _CACHE_VERSION = 1
 
 _log = get_logger("perf.cache")
 
 
-def cache_key(graph: ComputationGraph, device: DeviceSpec) -> str:
-    """Content address of one (graph, device, simulator) combination.
+def _update_graph(h: "hashlib._Hash", graph: ComputationGraph,
+                  device: DeviceSpec) -> None:
+    """Stream one (graph, device) pair's content into a running hash.
 
     The graph hash streams the dataclass ``repr`` of every node and edge
     (all fields, deterministic for a deterministically built graph) —
     the same content ``graph.to_json()`` would serialize, at roughly half
     the cost, which matters because the key is computed on every cache
-    lookup in the generation hot path.
+    lookup in the generation and serving hot paths.
     """
-    h = hashlib.sha256()
     h.update(graph.name.encode("utf-8"))
     for node in graph.nodes.values():
         h.update(repr(node).encode("utf-8"))
@@ -64,8 +65,43 @@ def cache_key(graph: ComputationGraph, device: DeviceSpec) -> str:
         h.update(repr(edge).encode("utf-8"))
     h.update(b"\x00")
     h.update(device.name.encode("utf-8"))
+
+
+def cache_key(graph: ComputationGraph, device: DeviceSpec) -> str:
+    """Content address of one (graph, device, simulator) combination."""
+    h = hashlib.sha256()
+    _update_graph(h, graph, device)
     h.update(b"\x00")
     h.update(str(SIMULATOR_VERSION).encode("ascii"))
+    return h.hexdigest()
+
+
+def graph_key(graph: ComputationGraph, device: DeviceSpec) -> str:
+    """Content address of one (graph, device) pair, simulator-agnostic.
+
+    The serving layer keys its request cache on this: a prediction depends
+    only on the model weights and the encoded inputs, never on the cost
+    simulator, so bumping ``SIMULATOR_VERSION`` must not evict warm
+    prediction entries the way it (correctly) evicts profile entries.
+    """
+    h = hashlib.sha256()
+    _update_graph(h, graph, device)
+    return h.hexdigest()
+
+
+def structure_key(num_nodes: int, edge_index: np.ndarray) -> str:
+    """Content address of a graph *topology* (node count + edge list).
+
+    Shortest-path distances depend only on structure, so the SPD memo in
+    :func:`repro.perf.batching.ensure_spd` shares one entry across every
+    feature encoding of the same topology — different devices, batch
+    sizes that do not change the graph, or freshly re-encoded
+    ``GraphFeatures`` objects.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(num_nodes)).encode("ascii"))
+    h.update(b"\x00")
+    h.update(np.ascontiguousarray(edge_index, dtype=np.int64).tobytes())
     return h.hexdigest()
 
 

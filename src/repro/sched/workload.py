@@ -46,9 +46,12 @@ def make_job(job_id: int, model_name: str, cfg: ModelConfig,
     predicted = None
     predicted_std = 0.0
     if predictor is not None:
-        # Resilient predictors (repro.resilience.FallbackPredictor) set
-        # ``wants_graph`` and take (graph, device) so failures inside
-        # encoding or the lint gate stay catchable per tier; plain
+        # Graph-level predictors set ``wants_graph`` and take
+        # (graph, device): repro.serve.PredictorService — the sanctioned
+        # online surface, with micro-batching, request caching, and
+        # overload shedding (S006 lints direct model.predict calls here)
+        # — and repro.resilience.FallbackPredictor, whose per-tier
+        # encoding/lint failures stay catchable inside the tier.  Plain
         # predictors receive pre-encoded features.
         if getattr(predictor, "wants_graph", False):
             out = predictor(graph, device)

@@ -1,0 +1,22 @@
+"""repro.serve: the online prediction service.
+
+The deployment story of the paper (occu-packing scheduling driven by
+pre-execution predictions) assumes cheap, repeated occupancy queries.
+This package provides them (see docs/serving.md):
+
+* :mod:`repro.serve.batcher` — adaptive micro-batching: concurrent
+  single-graph requests coalesce into one masked dense forward, flushed
+  on max-batch-size or a ~2 ms deadline, whichever first;
+* :mod:`repro.serve.service` — warm :class:`ModelSession` (preloaded
+  weights + content-addressed result/encoding caches) behind the
+  synchronous :class:`PredictorService` facade, with bounded-queue
+  overload shedding into the resilience fallback chain;
+* :mod:`repro.serve.bench` — the serving throughput/latency suite behind
+  the ``repro serve-bench`` CLI and the ``repro bench --check`` gates.
+"""
+
+from .batcher import MicroBatcher, QueueFullError, Ticket
+from .service import ModelSession, PredictorService
+
+__all__ = ["MicroBatcher", "QueueFullError", "Ticket", "ModelSession",
+           "PredictorService"]

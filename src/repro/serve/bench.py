@@ -1,0 +1,282 @@
+"""Serving benchmark suite behind ``repro serve-bench`` and the bench gates.
+
+Five suites, emitted as ``BENCH_serve.json``:
+
+* **throughput** — batch-32 service throughput (``predict_many`` over 32
+  distinct graphs, result cache cleared per repeat so every prediction
+  pays a forward) vs a sequential ``model.predict`` loop over the same
+  pre-encoded, SPD-warm features;
+* **warm_cache** — repeated predictions of one already-served graph (the
+  content-addressed hit path: hash + LRU lookup, no encode/SPD/forward)
+  vs direct ``model.predict`` calls;
+* **latency** — concurrent client threads through ``predict``; p50/p99
+  from the service's latency histogram plus flush-trigger counts;
+* **equivalence** — service vs direct ``predict`` across the full model
+  zoo: serial requests must be **bit-identical** (single-request flushes
+  dispatch the per-graph forward), the bulk path within 1e-6;
+* **overload** — a paused dispatcher and a flood of ``predict_async``
+  past the queue bound: shed requests must be counted and served by the
+  fallback chain, and every ticket must still resolve.
+
+Gates (merged into ``repro bench --check``): throughput >= 3x,
+warm-cache >= 10x, zoo equivalence <= 1e-6, serial bit-identity, and
+overload actually sheds.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from ..features import encode_graph
+from ..gpu import get_device
+from ..models import ModelConfig, build_model, list_models
+from ..perf.batching import clear_spd_memo, ensure_spd
+from ..perf.bench import BENCH_VERSION, _best_of
+from .service import PredictorService
+
+__all__ = ["run_serve_benchmarks", "evaluate_serve_gates",
+           "format_serve_summary"]
+
+#: small-graph zoo slice: the micro-batching win is amortizing per-graph
+#: Python/tape overhead, which small graphs isolate (large graphs are
+#: matmul-bound and batching approaches 1x)
+_SERVE_MODELS = ("lenet", "alexnet", "rnn", "lstm")
+_BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+_DEFAULT_HIDDEN = 32
+
+
+def _service_model(seed: int = 7):
+    from ..core import DNNOccu, DNNOccuConfig
+    return DNNOccu(DNNOccuConfig(hidden=_DEFAULT_HIDDEN, num_heads=4),
+                   seed=seed)
+
+
+def _distinct_graphs(count: int = 32) -> list:
+    """``count`` structurally distinct graphs (model x batch-size grid)."""
+    graphs = []
+    for bs in _BATCH_SIZES:
+        for name in _SERVE_MODELS:
+            graphs.append(build_model(name, ModelConfig(batch_size=bs)))
+            if len(graphs) == count:
+                return graphs
+    raise ValueError(f"grid exhausted below {count} graphs")
+
+
+def bench_throughput(scale: float = 1.0) -> dict:
+    """Batch-32 service throughput vs a sequential predict loop."""
+    device = get_device("A100")
+    model = _service_model()
+    graphs = _distinct_graphs(32)
+    feats = [encode_graph(g, device) for g in graphs]
+    for f in feats:
+        ensure_spd(f)
+    repeats = max(2, int(round(3 * scale)))
+
+    model.predict(feats[0])  # warm any lazy imports out of the timing
+    seq_s = _best_of(lambda: [model.predict(f) for f in feats], repeats)
+
+    with PredictorService(model, device, max_batch_size=32) as svc:
+        svc.predict_many(graphs)  # warm the encoding memo
+
+        def served() -> None:
+            svc.session.results.clear()
+            svc.predict_many(graphs)
+
+        svc_s = _best_of(served, repeats)
+
+    return {
+        "graphs": len(graphs), "models": list(_SERVE_MODELS),
+        "hidden": _DEFAULT_HIDDEN, "repeats": repeats,
+        "sequential_s": seq_s, "service_s": svc_s,
+        "sequential_predictions_per_s": len(graphs) / seq_s,
+        "service_predictions_per_s": len(graphs) / svc_s,
+        "speedup": seq_s / svc_s,
+    }
+
+
+def bench_warm_cache(scale: float = 1.0) -> dict:
+    """Content-addressed hit path vs direct per-call forwards."""
+    device = get_device("A100")
+    model = _service_model()
+    graph = build_model("alexnet", ModelConfig(batch_size=16))
+    feats = encode_graph(graph, device)
+    ensure_spd(feats)
+    reps = max(20, int(round(50 * scale)))
+
+    model.predict(feats)
+    direct_s = _best_of(
+        lambda: [model.predict(feats) for _ in range(reps)], 3)
+
+    with PredictorService(model, device) as svc:
+        svc.predict(graph)  # fill the result cache
+        warm_s = _best_of(
+            lambda: [svc.predict(graph) for _ in range(reps)], 3)
+        hit_value = svc.predict(graph)
+
+    return {
+        "graph": graph.name, "repeats": reps,
+        "direct_s": direct_s, "warm_s": warm_s,
+        "speedup": direct_s / warm_s,
+        "hit_matches_direct": bool(hit_value == model.predict(feats)),
+    }
+
+
+def bench_latency(scale: float = 1.0) -> dict:
+    """Concurrent clients: latency quantiles + flush-trigger mix."""
+    device = get_device("A100")
+    model = _service_model()
+    graphs = _distinct_graphs(16)
+    threads = 4
+    rounds = max(2, int(round(3 * scale)))
+
+    with PredictorService(model, device, max_batch_size=8,
+                          deadline_s=0.002) as svc:
+        svc.predict_many(graphs)  # warm encodings; timed path = queue+fwd
+        errors: list[Exception] = []
+
+        def client(part: list) -> None:
+            try:
+                for _ in range(rounds):
+                    svc.session.results.clear()
+                    for g in part:
+                        svc.predict(g)
+            except Exception as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        t0 = time.perf_counter()
+        workers = [threading.Thread(target=client,
+                                    args=(graphs[i::threads],))
+                   for i in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        wall_s = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        stats = svc.stats()
+
+    served = stats["requests"]
+    return {
+        "client_threads": threads, "rounds": rounds,
+        "requests": served, "wall_s": wall_s,
+        "requests_per_s": served / wall_s,
+        "latency_s": stats["latency"],
+        "flush_reasons": stats["flush_reasons"],
+        "mean_batch": (stats["requests_dispatched"]
+                       / max(1, stats["batches_dispatched"])),
+    }
+
+
+def bench_equivalence() -> dict:
+    """Service vs direct predictions across the full model zoo."""
+    device = get_device("A100")
+    model = _service_model()
+    graphs = [build_model(n, ModelConfig(batch_size=16))
+              for n in list_models()]
+    direct = np.array([model.predict(encode_graph(g, device))
+                       for g in graphs])
+
+    with PredictorService(model, device) as svc:
+        serial = np.array([svc.predict(g) for g in graphs])
+    with PredictorService(model, device) as svc:
+        bulk = svc.predict_many(graphs)
+
+    return {
+        "zoo_size": len(graphs),
+        "serial_max_diff": float(np.abs(serial - direct).max()),
+        "serial_bit_identical": bool(np.array_equal(serial, direct)),
+        "bulk_max_diff": float(np.abs(bulk - direct).max()),
+    }
+
+
+def bench_overload() -> dict:
+    """Queue-full shedding: bounded depth, fallback serves, all resolve."""
+    device = get_device("A100")
+    model = _service_model()
+    graphs = _distinct_graphs(12)
+
+    with PredictorService(model, device, max_batch_size=2,
+                          max_queue_depth=4) as svc:
+        svc.batcher.pause()
+        tickets = [svc.predict_async(g) for g in graphs]
+        shed_while_paused = svc.stats()["shed"]
+        svc.batcher.resume()
+        values = [t.result(timeout=30.0) for t in tickets]
+        stats = svc.stats()
+
+    return {
+        "flood": len(graphs),
+        "max_queue_depth": 4,
+        "shed": stats["shed"],
+        "shed_while_paused": shed_while_paused,
+        "fallback_tiers": stats["fallback_tiers"],
+        "all_resolved": bool(all(isinstance(v, float) for v in values)),
+    }
+
+
+def run_serve_benchmarks(scale: float = 1.0) -> dict:
+    """Run every serving suite; returns the ``BENCH_serve.json`` document."""
+    clear_spd_memo()  # suites measure their own warm-up, not a prior run's
+    results = {
+        "meta": {
+            "bench_version": BENCH_VERSION,
+            "cpu_count": os.cpu_count(),
+            "scale": scale,
+        },
+        "throughput": bench_throughput(scale),
+        "warm_cache": bench_warm_cache(scale),
+        "latency": bench_latency(scale),
+        "equivalence": bench_equivalence(),
+        "overload": bench_overload(),
+    }
+    results["gates"] = evaluate_serve_gates(results)
+    return results
+
+
+def evaluate_serve_gates(results: dict) -> dict:
+    """The serving acceptance gates over a benchmark document."""
+    eq = results["equivalence"]
+    ov = results["overload"]
+    return {
+        "serve_throughput_3x": results["throughput"]["speedup"] >= 3.0,
+        "serve_warm_cache_10x": results["warm_cache"]["speedup"] >= 10.0,
+        "serve_equivalence_1e6": (eq["serial_max_diff"] <= 1e-6
+                                  and eq["bulk_max_diff"] <= 1e-6),
+        "serve_serial_bit_identical": bool(eq["serial_bit_identical"]),
+        "serve_overload_sheds": (ov["shed"] > 0 and ov["all_resolved"]),
+    }
+
+
+def format_serve_summary(results: dict) -> str:
+    """Human-readable digest of a serving benchmark document."""
+    t, w, l = results["throughput"], results["warm_cache"], \
+        results["latency"]
+    e, o = results["equivalence"], results["overload"]
+    lat = l["latency_s"]
+    lines = [
+        f"throughput: service {t['service_predictions_per_s']:.1f} "
+        f"pred/s vs sequential {t['sequential_predictions_per_s']:.1f} "
+        f"({t['speedup']:.1f}x at batch {t['graphs']})",
+        f"warm cache: hit path {w['speedup']:.0f}x over direct predict "
+        f"({w['repeats']} repeats)",
+        f"latency   : p50 {lat['p50'] * 1e3:.2f}ms p90 "
+        f"{lat['p90'] * 1e3:.2f}ms p99 {lat['p99'] * 1e3:.2f}ms over "
+        f"{l['requests']} reqs ({l['client_threads']} threads, mean "
+        f"batch {l['mean_batch']:.1f}, flushes {l['flush_reasons']})",
+        f"equivalence: serial diff {e['serial_max_diff']:.2e} "
+        f"(bit-identical: {e['serial_bit_identical']}), bulk diff "
+        f"{e['bulk_max_diff']:.2e} over {e['zoo_size']} zoo graphs",
+        f"overload  : {o['shed']}/{o['flood']} shed at depth "
+        f"{o['max_queue_depth']}, tiers {o['fallback_tiers']}, "
+        f"all resolved: {o['all_resolved']}",
+        "gates     : " + "  ".join(
+            f"{k}={'PASS' if v else 'FAIL'}"
+            for k, v in results["gates"].items()),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""Warm model session + synchronous prediction facade.
+
+:class:`ModelSession` owns the preloaded model weights and two bounded
+content-addressed memos keyed by :func:`repro.perf.cache.graph_key`
+(sha256 of graph content + device, simulator-agnostic):
+
+* a **result cache** — repeated graphs skip encode, SPD, *and* forward;
+* an **encoding memo** — cache-warm structures skip encode/SPD and pay
+  only the forward.
+
+:class:`PredictorService` is the client surface the scheduler and
+colocation planner adopt: ``predict`` / ``predict_many`` /
+``predict_async``, plus the ``wants_graph`` protocol so an instance
+drops into :func:`repro.sched.make_job` unchanged.  Misses are coalesced
+by the :class:`~repro.serve.batcher.MicroBatcher`; a full queue sheds the
+request to a :class:`~repro.resilience.FallbackPredictor` chain instead
+of queueing unbounded latency.
+
+Numerical contract: a **single-request flush dispatches through
+``model.forward``** — bit-identical to a direct ``model.predict`` call —
+so serial callers (the scheduler's per-job queries) reproduce pre-service
+results exactly.  Multi-request flushes run the masked dense
+``forward_batch``, which matches per-graph execution within 1e-6 (in
+practice ~1e-15; see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..features import GraphFeatures, encode_graph
+from ..gpu import DeviceSpec
+from ..obs import get_logger
+from ..obs.metrics import Histogram, counter, histogram
+from ..perf.batching import bucket_by_size, ensure_spd
+from ..perf.cache import graph_key
+from ..resilience import FallbackPredictor, default_fallback_chain
+from .batcher import MicroBatcher, QueueFullError, Ticket
+
+__all__ = ["ModelSession", "PredictorService"]
+
+_log = get_logger("serve.service")
+
+#: serve_latency_seconds buckets: the hot path is sub-millisecond cache
+#: hits through ~tens of ms for a cold deadline-flushed forward.
+_LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+class _LRU:
+    """Tiny thread-safe bounded LRU (OrderedDict under a lock)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class ModelSession:
+    """Preloaded weights plus content-addressed request/encoding memos.
+
+    ``device`` is the default prediction target; per-call devices are
+    honored (the content key includes the device, so entries never mix).
+    """
+
+    def __init__(self, model, device: DeviceSpec, *,
+                 cache_size: int = 1024):
+        self.model = model
+        self.device = device
+        self.results = _LRU(cache_size)      # graph_key -> float
+        self.encodings = _LRU(cache_size)    # graph_key -> GraphFeatures
+
+    def key_for(self, graph, device: DeviceSpec | None = None) -> str:
+        return graph_key(graph, device or self.device)
+
+    def encode(self, graph, device: DeviceSpec | None = None,
+               key: str | None = None) -> GraphFeatures:
+        """Memoized encode + SPD for one (graph, device) pair."""
+        dev = device or self.device
+        if key is None:
+            key = graph_key(graph, dev)
+        feats = self.encodings.get(key)
+        if feats is None:
+            counter("serve_encoding_cache_misses_total",
+                    "serve requests that had to encode features").inc()
+            feats = encode_graph(graph, dev)
+            ensure_spd(feats)
+            self.encodings.put(key, feats)
+        else:
+            counter("serve_encoding_cache_hits_total",
+                    "serve requests served a memoized encoding").inc()
+        return feats
+
+    def predict_features(self, feats_list) -> list[float]:
+        """Forward 1..B encoded graphs on the calling thread.
+
+        A single graph runs :meth:`~repro.core.DNNOccu.predict` (the
+        per-graph forward, bit-identical to a direct call); larger lists
+        run the masked dense batch.
+        """
+        if len(feats_list) == 1:
+            return [self.model.predict(feats_list[0])]
+        return [float(v) for v in self.model.predict_batch(feats_list)]
+
+
+class PredictorService:
+    """Synchronous micro-batched prediction facade over a warm session.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``predict(features)`` / ``predict_batch(list)``
+        (normally a :class:`repro.core.DNNOccu`).  Ignored when
+        ``session`` is given.
+    device:
+        Default :class:`~repro.gpu.DeviceSpec` for requests.
+    session:
+        A prebuilt :class:`ModelSession` (overrides model/device).
+    max_batch_size / deadline_s / max_queue_depth:
+        Batching knobs, forwarded to :class:`MicroBatcher`.
+    fallback:
+        :class:`FallbackPredictor` chain serving *shed* requests when the
+        queue is full.  Defaults to the terminal constant tier (1.0 — the
+        conservative "assume saturating" answer), so shedding is O(1);
+        pass :func:`repro.resilience.default_fallback_chain` built with a
+        model/analytical baseline for graceful gnn→analytical→constant
+        degradation instead.
+    cache_size:
+        Capacity of the result and encoding LRUs.
+    """
+
+    #: make_job protocol: call me with (graph, device), not features.
+    wants_graph = True
+
+    def __init__(self, model=None, device: DeviceSpec | None = None, *,
+                 session: ModelSession | None = None,
+                 max_batch_size: int = 32, deadline_s: float = 0.002,
+                 max_queue_depth: int = 256,
+                 fallback: FallbackPredictor | None = None,
+                 cache_size: int = 1024):
+        if session is None:
+            if model is None or device is None:
+                raise ValueError(
+                    "need either a ModelSession or a (model, device) pair")
+            session = ModelSession(model, device, cache_size=cache_size)
+        self.session = session
+        self.fallback = fallback if fallback is not None \
+            else default_fallback_chain()
+        self.batcher = MicroBatcher(
+            self._dispatch_batch,
+            max_batch_size=max_batch_size, deadline_s=deadline_s,
+            max_queue_depth=max_queue_depth)
+        # Local latency histogram: always populated (the registry copy
+        # only exists while obs is enabled), feeds latency_quantiles().
+        self._latency = Histogram(
+            "serve_latency_seconds",
+            "end-to-end serve request latency",
+            buckets=_LATENCY_BUCKETS)
+        self._shed = 0
+        self._requests = 0
+        self._stat_lock = threading.Lock()
+
+    # -- core request paths --------------------------------------------- #
+    def predict(self, graph, device: DeviceSpec | None = None) -> float:
+        """Predict occupancy for one graph, blocking until served."""
+        return self.predict_async(graph, device).result()
+
+    def predict_async(self, graph,
+                      device: DeviceSpec | None = None) -> Ticket:
+        """Enqueue one request; returns a :class:`Ticket`.
+
+        Resolved immediately on a result-cache hit and on shed (the
+        fallback chain runs synchronously on the calling thread — bounded
+        latency is the whole point of shedding).
+        """
+        start = time.monotonic()
+        self._count_request()
+        key = self.session.key_for(graph, device)
+        cached = self.session.results.get(key)
+        if cached is not None:
+            counter("serve_result_cache_hits_total",
+                    "serve requests answered from the result cache").inc()
+            ticket = Ticket()
+            ticket.set_result(cached)
+            self._observe_latency(start)
+            return ticket
+        counter("serve_result_cache_misses_total",
+                "serve requests that needed a forward pass").inc()
+        feats = self.session.encode(graph, device, key=key)
+        try:
+            return self.batcher.submit((feats, key, start))
+        except QueueFullError:
+            return self._shed_request(graph, device, start)
+
+    def predict_many(self, graphs, device: DeviceSpec | None = None) \
+            -> np.ndarray:
+        """Bulk path: size-bucketed batches, bypassing the request queue.
+
+        The caller already holds the whole workload, so there is nothing
+        to coalesce — chunks go straight to the batched forward (sorted
+        by node count to minimize pad waste) and results scatter back to
+        input order.  Cache semantics match :meth:`predict`.
+        """
+        graphs = list(graphs)
+        out = np.zeros(len(graphs))
+        miss_idx: list[int] = []
+        miss_feats: list[GraphFeatures] = []
+        miss_keys: list[str] = []
+        for i, graph in enumerate(graphs):
+            self._count_request()
+            key = self.session.key_for(graph, device)
+            cached = self.session.results.get(key)
+            if cached is not None:
+                counter("serve_result_cache_hits_total",
+                        "serve requests answered from the result "
+                        "cache").inc()
+                out[i] = cached
+                continue
+            counter("serve_result_cache_misses_total",
+                    "serve requests that needed a forward pass").inc()
+            miss_idx.append(i)
+            miss_feats.append(self.session.encode(graph, device, key=key))
+            miss_keys.append(key)
+        for idx, chunk in bucket_by_size(miss_feats,
+                                         self.batcher.max_batch_size):
+            values = self.session.predict_features(chunk)
+            for j, value in zip(idx, values):
+                out[miss_idx[j]] = value
+                self.session.results.put(miss_keys[j], value)
+        return out
+
+    def __call__(self, graph, device: DeviceSpec | None = None) \
+            -> tuple[float, float]:
+        """Workload-predictor protocol (``wants_graph``): ``(mean, std)``.
+
+        The GNN is deterministic given the graph, so the predictive std
+        is 0.0 — matching what ``make_job`` assumes for plain callables.
+        """
+        return self.predict(graph, device), 0.0
+
+    # -- plumbing -------------------------------------------------------- #
+    def _count_request(self) -> None:
+        counter("serve_requests_total",
+                "prediction requests accepted by the service").inc()
+        with self._stat_lock:
+            self._requests += 1
+
+    def _shed_request(self, graph, device, start: float) -> Ticket:
+        counter("serve_shed_total",
+                "requests shed to the fallback chain (queue full)").inc()
+        with self._stat_lock:
+            self._shed += 1
+        _log.warning("queue full; shedding to fallback chain", extra={
+            "graph": getattr(graph, "name", "") or "<graph>",
+            "depth": self.batcher.max_queue_depth})
+        mean, _std = self.fallback(graph, device or self.session.device)
+        ticket = Ticket()
+        ticket.set_result(float(mean))
+        self._observe_latency(start)
+        return ticket
+
+    def _dispatch_batch(self, requests) -> list[float]:
+        """MicroBatcher dispatch: forward, fill the cache, record latency.
+
+        Each queued item is ``(features, content_key, start_monotonic)``;
+        runs on the dispatcher thread.
+        """
+        values = self.session.predict_features([f for f, _, _ in requests])
+        for (_, key, start), value in zip(requests, values):
+            self.session.results.put(key, value)
+            self._observe_latency(start)
+        return values
+
+    def _observe_latency(self, start: float) -> None:
+        elapsed = time.monotonic() - start
+        self._latency.observe(elapsed)
+        histogram("serve_latency_seconds",
+                  "end-to-end serve request latency",
+                  buckets=_LATENCY_BUCKETS).observe(elapsed)
+
+    # -- introspection / lifecycle --------------------------------------- #
+    def latency_quantiles(self) -> dict[str, float]:
+        """p50/p90/p99 over every request served so far (bucket accuracy)."""
+        return {"p50": self._latency.quantile(0.50),
+                "p90": self._latency.quantile(0.90),
+                "p99": self._latency.quantile(0.99)}
+
+    def stats(self) -> dict:
+        """Snapshot of the service's counters and queue accounting."""
+        with self._stat_lock:
+            requests, shed = self._requests, self._shed
+        return {
+            "requests": requests,
+            "shed": shed,
+            "result_cache_entries": len(self.session.results),
+            "encoding_cache_entries": len(self.session.encodings),
+            "batches_dispatched": self.batcher.batches_dispatched,
+            "requests_dispatched": self.batcher.requests_dispatched,
+            "flush_reasons": dict(self.batcher.flush_reasons),
+            "latency": self.latency_quantiles(),
+            "fallback_tiers": self.fallback.counts(),
+        }
+
+    def close(self) -> None:
+        """Drain and stop the dispatcher; further predicts will fail."""
+        self.batcher.close()
+
+    def __enter__(self) -> "PredictorService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -332,6 +332,61 @@ def test_s005_ignores_plain_loops(tmp_path):
     assert not c
 
 
+_S006_DIRECT_PREDICT = (
+    "__all__ = []\n"
+    "def plan(model, feats):\n"
+    "    return model.predict(feats)\n"
+)
+
+
+def _lint_sched_source(tmp_path, text: str) -> Counter:
+    (tmp_path / "sched").mkdir(exist_ok=True)
+    f = tmp_path / "sched" / "mod.py"
+    f.write_text(text)
+    return codes(lint_paths([str(f)]))
+
+
+def test_s006_direct_predict_in_sched(tmp_path):
+    c = _lint_sched_source(tmp_path, _S006_DIRECT_PREDICT)
+    assert c["S006"] == 1
+    assert set(c) == {"S006"}
+
+
+def test_s006_predict_batch_in_colocation(tmp_path):
+    (tmp_path / "gpu").mkdir()
+    f = tmp_path / "gpu" / "colocation.py"
+    f.write_text("__all__ = []\n"
+                 "def pack(model, feats):\n"
+                 "    return model.predict_batch(feats)\n")
+    c = codes(lint_paths([str(f)]))
+    assert c["S006"] == 1
+    assert set(c) == {"S006"}
+
+
+def test_s006_outside_online_path_exempt(tmp_path):
+    assert not _lint_source(tmp_path, _S006_DIRECT_PREDICT)
+
+
+def test_s006_service_receiver_is_sanctioned(tmp_path):
+    c = _lint_sched_source(tmp_path,
+                           "__all__ = []\n"
+                           "def plan(service, graphs, svc):\n"
+                           "    service.predict(graphs[0])\n"
+                           "    self.service.predict(graphs[1])\n"
+                           "    predictor_service.predict_batch(graphs)\n")
+    assert not c
+
+
+def test_s006_opt_out_comment(tmp_path):
+    c = _lint_sched_source(
+        tmp_path,
+        "__all__ = []\n"
+        "def oracle(model, feats):\n"
+        "    # serve: direct-predict-ok -- equivalence oracle\n"
+        "    return model.predict(feats)\n")
+    assert not c
+
+
 def test_directory_lint_recurses(tmp_path):
     (tmp_path / "sub").mkdir()
     (tmp_path / "sub" / "a.py").write_text("x = 1\n")
