@@ -29,6 +29,16 @@ python -m repro profile --model lenet --batch 16 --trace-out "$OBS_TRACE"
 python -m repro obs "$OBS_TRACE"
 rm -f "$OBS_TRACE"
 
+echo "== serving SLOs: request-scoped trace + error-budget check =="
+SLO_TRACE="$(mktemp /tmp/repro_slo.XXXXXX.json)"
+python -m repro slo --requests 60 --out "$SLO_TRACE" --check
+python -m repro obs "$SLO_TRACE" --requests 5
+rm -f "$SLO_TRACE"
+
+echo "== observability gates: tracing overhead / flight ring / SLO math =="
+python -m repro obs-bench --scale "$SCALE" \
+    --out benchmarks/results/BENCH_obs.json --check
+
 echo "== resilience smoke: chaos sweep must finish with zero lost jobs =="
 python -m repro chaos --gpus 2 --jobs 6 --fault-rates 0.0 0.25 \
     --gpu-mtbf 200 --checkpoint-interval 10 --fail-on-lost

@@ -24,7 +24,12 @@ Three subcommands mirror the system's three roles:
 Observability: ``profile`` / ``schedule`` / ``trace`` accept
 ``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
 file, and ``repro obs PATH`` summarizes a saved trace (top spans by
-self-time, metric table).  ``--log-level`` turns on structured logging.
+self-time, metric table; ``--requests N`` regroups the last N traced
+requests into span trees and prints the flight-recorder table).
+``repro slo`` evaluates the serving SLOs over a deterministic workload
+(``--check`` is the CI gate); ``repro obs-bench`` runs the
+observability-overhead gates (``BENCH_obs.json``).  ``--log-level``
+turns on structured logging.
 
 Examples::
 
@@ -148,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
                                  "--trace-out or the trace subcommand)")
     p.add_argument("--top", type=int, default=15,
                    help="show the N spans with the most self-time")
+    p.add_argument("--requests", type=int, default=0, metavar="N",
+                   help="also render the last N traced requests as span "
+                        "trees, plus the flight-recorder table when the "
+                        "trace carries one")
+
+    p = sub.add_parser(
+        "slo", help="evaluate serving SLOs over a deterministic workload")
+    p.add_argument("--requests", type=int, default=60,
+                   help="serve requests to issue before evaluating")
+    p.add_argument("--device", default="A100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=float, default=30.0, metavar="S",
+                   help="synthetic evaluation timestamp (SLO windows are "
+                        "measured against snapshot deltas, not wall time)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the run's Chrome trace (spans + "
+                        "metrics + flight records + SLO statuses) here")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if any SLO objective is violated (CI "
+                        "gate)")
 
     p = sub.add_parser(
         "lint", help="static diagnostics: graph IR, registries, sources")
@@ -202,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload multiplier (CI uses small scales)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero if any serve gate fails")
+
+    p = sub.add_parser(
+        "obs-bench", help="run the observability overhead/SLO gates")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the BENCH_obs.json document here")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload multiplier (CI uses small scales)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any obs gate fails")
     return parser
 
 
@@ -336,6 +370,54 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(obs.summarize_trace(trace, top=args.top))
+    if args.requests > 0:
+        print()
+        print(obs.format_request_summary(trace, limit=args.requests))
+        flight = trace.get("otherData", {}).get("flight")
+        if flight:
+            print()
+            print(f"flight recorder (last {min(args.requests, len(flight))}"
+                  f" of {len(flight)} records):")
+            print(obs.format_flight_table(flight, limit=args.requests))
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from .core import DNNOccu, DNNOccuConfig
+    from .serve import PredictorService
+
+    device = get_device(args.device)
+    model = DNNOccu(DNNOccuConfig(hidden=32, num_heads=4), seed=args.seed)
+    graphs = [build_model(n, ModelConfig(batch_size=bs))
+              for n in ("lenet", "alexnet", "rnn") for bs in (4, 8)]
+    obs.reset_ids()
+    tracer, registry = obs.enable()
+    try:
+        engine = obs.SLOEngine(registry)
+        engine.snapshot(now=0.0)
+        with PredictorService(model, device) as svc:
+            for i in range(args.requests):
+                svc.predict(graphs[i % len(graphs)])
+        engine.snapshot(now=args.window)
+        ok, statuses = engine.check(now=args.window)
+        payload = obs.export_chrome_trace(
+            tracer, registry, command="slo",
+            flight=svc.flight.to_dicts() if svc.flight else [],
+            slo=[s.to_dict() for s in statuses]) if args.out else None
+    finally:
+        obs.disable()
+    print(f"{args.requests} requests on {device.name}; "
+          f"{len(statuses)} objectives:")
+    print(obs.format_slo_report(statuses))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        print(f"wrote trace + SLO statuses to {args.out} "
+              f"(summarize with `repro obs {args.out} --requests 10`)")
+    if args.check and not ok:
+        violated = [s.spec.name for s in statuses if not s.ok]
+        print(f"SLO check FAILED: {', '.join(violated)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -420,16 +502,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    from .obs.bench import format_obs_summary, run_obs_benchmarks
+    from .perf.bench import save_results
+    results = run_obs_benchmarks(scale=args.scale)
+    print(format_obs_summary(results))
+    if args.out:
+        save_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check and not all(results["gates"].values()):
+        failed = [k for k, v in results["gates"].items() if not v]
+        print(f"obs gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level:
         obs.configure_logging(args.log_level)
     handler = {"profile": _cmd_profile, "predict": _cmd_predict,
                "schedule": _cmd_schedule, "chaos": _cmd_chaos,
-               "trace": _cmd_trace, "obs": _cmd_obs,
+               "trace": _cmd_trace, "obs": _cmd_obs, "slo": _cmd_slo,
                "dataset": _cmd_dataset, "lint": _cmd_lint,
                "bench": _cmd_bench,
-               "serve-bench": _cmd_serve_bench}[args.command]
+               "serve-bench": _cmd_serve_bench,
+               "obs-bench": _cmd_obs_bench}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

@@ -23,10 +23,13 @@ from this simulation, closing the loop between the two layers.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.context import request_scope
+from ..obs.tracing import span, tracing_enabled
 from .profiler import ProfileResult
 
 __all__ = ["co_run", "pair_slowdown", "calibrate_interference",
@@ -146,24 +149,32 @@ def plan_colocation(service, graphs, device=None, cap: float = 1.0,
     graphs = list(graphs)
     if not graphs:
         return []
-    occs = np.clip(service.predict_many(graphs, device), 0.0, 1.0)
-    order = sorted(range(len(graphs)), key=lambda i: -occs[i])
-    groups: list[list[int]] = []
-    loads: list[float] = []
-    for i in order:
-        for g, load in enumerate(loads):
-            if load + occs[i] <= cap and (
-                    max_residents is None
-                    or len(groups[g]) < max_residents):
-                groups[g].append(i)
-                loads[g] = load + occs[i]
-                break
-        else:
-            groups.append([i])
-            loads.append(float(occs[i]))
-    for group in groups:
-        group.sort()
-    return groups
+    # One planning pass is one trace: the predict_many call below opens
+    # its own request scope *inside* this one, so the serve spans share
+    # the plan's trace_id and parent under colocation.plan.
+    scope = request_scope() if tracing_enabled() \
+        else contextlib.nullcontext()
+    with scope, span("colocation.plan", graphs=len(graphs),
+                     cap=cap) as sp:
+        occs = np.clip(service.predict_many(graphs, device), 0.0, 1.0)
+        order = sorted(range(len(graphs)), key=lambda i: -occs[i])
+        groups: list[list[int]] = []
+        loads: list[float] = []
+        for i in order:
+            for g, load in enumerate(loads):
+                if load + occs[i] <= cap and (
+                        max_residents is None
+                        or len(groups[g]) < max_residents):
+                    groups[g].append(i)
+                    loads[g] = load + occs[i]
+                    break
+            else:
+                groups.append([i])
+                loads.append(float(occs[i]))
+        for group in groups:
+            group.sort()
+        sp.set_attr(groups=len(groups))
+        return groups
 
 
 def calibrate_interference(profiles: list[ProfileResult],

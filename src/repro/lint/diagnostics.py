@@ -79,6 +79,7 @@ CODE_TABLE: dict[str, str] = {
     "S005": "per-sample Python loop over a dataset in repro.core",
     "S006": "direct model predict call on the online path (use "
             "PredictorService)",
+    "S007": "metric name not declared in repro.obs.names.METRIC_NAMES",
     # feature/label pre-flight (trainer fail-fast)
     "F001": "non-finite value in an encoded feature matrix",
     "F002": "occupancy label outside [0, 1]",

@@ -24,7 +24,14 @@ the stdlib :mod:`ast` module:
   occupancy queries there go through
   :class:`repro.serve.PredictorService` (micro-batching, request cache,
   overload shedding); deliberate direct calls opt out with a
-  ``# serve: direct-predict-ok`` comment.
+  ``# serve: direct-predict-ok`` comment;
+* ``S007`` — every literal metric name passed to ``counter`` / ``gauge``
+  / ``histogram`` (or the ``Counter`` / ``Gauge`` / ``Histogram``
+  constructors) must be declared in the central
+  :data:`repro.obs.names.METRIC_NAMES` registry: dashboards, SLO specs,
+  and tests key on those names, so an undeclared one is a silent
+  contract drift; deliberate ad-hoc metrics opt out with a
+  ``# obs: adhoc-metric-ok`` comment.
 
 ``S000`` (syntax error) is emitted by the pass manager itself when a
 file fails to parse.
@@ -39,7 +46,7 @@ from .manager import LintPass, SourceContext
 
 __all__ = ["BareExceptPass", "FloatEqualityPass", "DunderAllPass",
            "SleepRetryPass", "PerSampleLoopPass", "DirectPredictPass",
-           "SOURCE_PASSES"]
+           "MetricNamePass", "SOURCE_PASSES"]
 
 
 class BareExceptPass(LintPass):
@@ -363,5 +370,78 @@ class DirectPredictPass(LintPass):
         return diags
 
 
+_METRIC_OPT_OUT = "obs: adhoc-metric-ok"
+
+
+class MetricNamePass(LintPass):
+    """S007: metric names must come from the central registry.
+
+    The SLO engine, the ``repro obs`` metric table, and the docs all key
+    on metric names; a name invented at a call site works locally and
+    then silently never shows up where anyone looks for it.  This pass
+    cross-checks every *literal* first argument of a ``counter`` /
+    ``gauge`` / ``histogram`` factory call (bare or attribute form, so
+    ``registry.counter(...)`` counts too) and of the ``Counter`` /
+    ``Gauge`` / ``Histogram`` constructors against
+    :data:`repro.obs.names.METRIC_NAMES`.
+
+    Dynamic (non-literal) names are out of scope.  The registry module
+    itself is exempt, and a deliberately ad-hoc metric opts out with a
+    ``# obs: adhoc-metric-ok`` comment on or just above the call.
+    """
+
+    name = "metric-name"
+    family = "source"
+    codes = ("S007",)
+
+    _FACTORIES = ("counter", "gauge", "histogram")
+    _CONSTRUCTORS = ("Counter", "Gauge", "Histogram")
+
+    def run(self, ctx: SourceContext) -> list[Diagnostic]:
+        path = ctx.path.replace("\\", "/")
+        if path.endswith("obs/names.py"):
+            return []
+        from ..obs.names import is_declared
+        lines = ctx.source.splitlines()
+
+        def opted_out(lineno: int) -> bool:
+            lo = max(0, lineno - 1 - _OPT_OUT_REACH)
+            return any(_METRIC_OPT_OUT in ln for ln in lines[lo:lineno])
+
+        diags: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                callee = func.attr
+            elif isinstance(func, ast.Name):
+                callee = func.id
+            else:
+                continue
+            if callee not in self._FACTORIES \
+                    and callee not in self._CONSTRUCTORS:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if is_declared(name) or opted_out(node.lineno):
+                continue
+            diags.append(Diagnostic(
+                code="S007", severity=Severity.ERROR,
+                message=f"metric name {name!r} is not declared in "
+                        "repro.obs.names.METRIC_NAMES",
+                target=ctx.path, pass_name=self.name, file=ctx.path,
+                line=node.lineno,
+                fix_hint="add the name + help string to METRIC_NAMES "
+                         "(keeping the block alphabetized), or annotate "
+                         f"with `# {_METRIC_OPT_OUT} -- <reason>` if it "
+                         "is deliberately ad-hoc"))
+        return diags
+
+
 SOURCE_PASSES = (BareExceptPass, FloatEqualityPass, DunderAllPass,
-                 SleepRetryPass, PerSampleLoopPass, DirectPredictPass)
+                 SleepRetryPass, PerSampleLoopPass, DirectPredictPass,
+                 MetricNamePass)

@@ -27,25 +27,42 @@ from __future__ import annotations
 
 import contextlib
 
+from .context import (SpanContext, capture_context, current_context,
+                      new_request_id, new_trace_id, request_scope,
+                      reset_ids, use_context)
 from .tracing import (SpanRecord, Tracer, get_tracer, install_tracer, span,
                       to_chrome_trace, tracing_enabled, uninstall_tracer)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, counter, gauge, get_registry,
-                      histogram, install_registry, uninstall_registry)
+                      histogram, histogram_quantile, install_registry,
+                      uninstall_registry)
+from .names import METRIC_NAMES, declare, declared_names, is_declared
 from .logging import (LOG_LEVELS, KeyValueFormatter, configure_logging,
                       get_logger)
-from .summary import (SpanStat, format_metrics_table, load_trace_file,
-                      span_stats, summarize_trace)
+from .flight import FlightRecord, FlightRecorder, format_flight_table
+from .slo import (SLOEngine, SLOSpec, SLOStatus, default_serve_slos,
+                  format_slo_report)
+from .summary import (SpanStat, format_metrics_table,
+                      format_request_summary, load_trace_file,
+                      request_groups, span_stats, span_tree,
+                      summarize_trace)
 
 __all__ = [
     "Tracer", "SpanRecord", "span", "get_tracer", "install_tracer",
     "uninstall_tracer", "tracing_enabled", "to_chrome_trace",
+    "SpanContext", "current_context", "request_scope", "use_context",
+    "capture_context", "new_trace_id", "new_request_id", "reset_ids",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
-    "counter", "gauge", "histogram", "get_registry", "install_registry",
-    "uninstall_registry",
+    "counter", "gauge", "histogram", "histogram_quantile", "get_registry",
+    "install_registry", "uninstall_registry",
+    "METRIC_NAMES", "declare", "declared_names", "is_declared",
     "configure_logging", "get_logger", "KeyValueFormatter", "LOG_LEVELS",
+    "FlightRecord", "FlightRecorder", "format_flight_table",
+    "SLOSpec", "SLOStatus", "SLOEngine", "default_serve_slos",
+    "format_slo_report",
     "SpanStat", "load_trace_file", "span_stats", "summarize_trace",
-    "format_metrics_table",
+    "format_metrics_table", "request_groups", "span_tree",
+    "format_request_summary",
     "enable", "disable", "is_enabled", "observed", "export_chrome_trace",
 ]
 

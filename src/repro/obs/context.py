@@ -1,0 +1,138 @@
+"""Request-scoped span context: ids that survive thread handoffs.
+
+PR 1's tracer nests spans with a per-thread depth counter, which is
+exactly wrong for the serving path: a request enters on the caller
+thread, waits in the :class:`~repro.serve.batcher.MicroBatcher` queue,
+and is *finished on the dispatcher thread* — so its spans land in two
+disconnected lanes.  This module adds the missing causal glue:
+
+* :class:`SpanContext` — immutable ``(trace_id, request_id,
+  parent_span_id)`` triple identifying one logical request;
+* a ``contextvars.ContextVar`` holding the current context, so every
+  span opened inside :func:`request_scope` is stamped with the ids;
+* :func:`capture_context` — snapshot the current context *plus the
+  currently open span's id* at a handoff point (Ticket creation), and
+  :func:`use_context` — re-attach it on the far side (dispatch), so the
+  dispatcher-side spans parent to the request's root span and the whole
+  lifecycle renders as one connected tree.
+
+Ids are deterministic per process (``trace-000001`` / ``req-000001``
+from a shared monotonic counter) — :func:`reset_ids` pins them for
+tests.  Creating a scope costs two counter bumps and a contextvar set;
+there is no clock read and no lock on the hot path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+from typing import NamedTuple, Optional
+
+__all__ = ["SpanContext", "current_context", "request_scope",
+           "use_context", "capture_context", "new_trace_id",
+           "new_request_id", "new_request_seq", "reset_ids"]
+
+
+class SpanContext(NamedTuple):
+    """Identity of one logical request as it crosses threads.
+
+    A NamedTuple, not a dataclass: request scopes sit on the serve fast
+    path and creation cost is part of the <=2% tracing-overhead budget.
+    ``parent_span_id`` is only populated by :func:`capture_context` at a
+    handoff point: it names the span that was open where the context was
+    captured, so spans opened under :func:`use_context` on another
+    thread can parent to it.
+    """
+
+    trace_id: str
+    request_id: str
+    parent_span_id: Optional[int] = None
+
+
+_current: contextvars.ContextVar[SpanContext | None] = \
+    contextvars.ContextVar("repro_span_context", default=None)
+
+# no lock: next() on itertools.count is a single GIL-atomic bytecode
+_trace_ids = itertools.count(1)
+_request_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    return f"trace-{next(_trace_ids):06d}"
+
+
+def new_request_id() -> str:
+    return f"req-{next(_request_ids):06d}"
+
+
+def new_request_seq() -> int:
+    """Raw request sequence number, same counter as :func:`new_request_id`.
+
+    For writers that defer the ``req-NNNNNN`` formatting off their hot
+    path (the flight recorder formats at read time).
+    """
+    return next(_request_ids)
+
+
+def reset_ids(start: int = 1) -> None:
+    """Pin the id counters (deterministic ids in tests and benches)."""
+    global _trace_ids, _request_ids
+    _trace_ids = itertools.count(start)
+    _request_ids = itertools.count(start)
+
+
+def current_context() -> SpanContext | None:
+    """The context governing spans opened on this thread, if any."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def request_scope(trace_id: str | None = None,
+                  request_id: str | None = None):
+    """Open a request scope: mints a request id, inherits the trace id.
+
+    Nested scopes share the ambient trace id (a ``predict_many`` call or
+    a simulate run is one trace containing many requests); a scope with
+    no ambient context starts a fresh trace.  Yields the
+    :class:`SpanContext`.
+    """
+    ambient = _current.get()
+    ctx = SpanContext(
+        trace_id=trace_id or (ambient.trace_id if ambient is not None
+                              else new_trace_id()),
+        request_id=request_id or new_request_id())
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+@contextlib.contextmanager
+def use_context(ctx: SpanContext | None):
+    """Re-attach a captured context (the dispatch side of a handoff)."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+def capture_context() -> SpanContext | None:
+    """Snapshot the current context for a cross-thread handoff.
+
+    Returns the ambient :class:`SpanContext` with ``parent_span_id`` set
+    to the innermost span currently open on *this* thread (so the far
+    side's spans parent to it), or ``None`` when no request scope is
+    active — handoffs outside a scope stay untraced.
+    """
+    ctx = _current.get()
+    if ctx is None:
+        return None
+    from .tracing import get_tracer  # import here: tracing imports us
+    tracer = get_tracer()
+    span_id = tracer.current_span_id() if tracer is not None else None
+    if span_id is None or span_id == ctx.parent_span_id:
+        return ctx
+    return ctx._replace(parent_span_id=span_id)

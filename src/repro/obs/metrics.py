@@ -21,8 +21,9 @@ import json
 import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS", "counter", "gauge", "histogram",
-           "get_registry", "install_registry", "uninstall_registry"]
+           "DEFAULT_BUCKETS", "histogram_quantile", "counter", "gauge",
+           "histogram", "get_registry", "install_registry",
+           "uninstall_registry"]
 
 #: Prometheus-style default histogram buckets (upper bounds).
 DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
@@ -43,6 +44,42 @@ def _fmt(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def histogram_quantile(buckets, cumulative, count: int,
+                       q: float) -> float:
+    """Quantile over cumulative bucket counts (shared with the SLO engine).
+
+    Edge cases are pinned, not emergent:
+
+    * ``count == 0`` → ``nan`` (no data is not a number);
+    * ``q == 0`` → the lower edge of the first *non-empty* bucket
+      (``0.0`` when that is the first bucket) — never the upper bound of
+      an empty leading bucket;
+    * ``q == 1`` → the upper bound of the bucket holding the final
+      observation;
+    * observations past the last finite bound (the implicit ``+Inf``
+      bucket) clamp to the last finite bound, PromQL-style — including
+      the all-in-overflow case, where every quantile returns it.
+
+    Within the selected bucket the value is linearly interpolated;
+    empty buckets are skipped so the quantile never lands on a bound
+    no observation reached.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    rank = q * count
+    prev = 0
+    for i, (bound, cum) in enumerate(zip(buckets, cumulative)):
+        in_bucket = cum - prev
+        if in_bucket > 0 and cum >= rank:
+            lower = buckets[i - 1] if i else 0.0
+            frac = (rank - prev) / in_bucket
+            return lower + (bound - lower) * frac
+        prev = cum
+    return float(buckets[-1])
 
 
 class _Metric:
@@ -78,10 +115,11 @@ class Counter(_Metric):
             self.value += amount
 
     def samples(self) -> list[tuple[str, str, float]]:
-        return [(self.name, self._label_str(), self.value)]
+        return [(self.name, self._label_str(), self.snapshot())]
 
     def snapshot(self):
-        return self.value
+        with self._lock:
+            return self.value
 
 
 class Gauge(_Metric):
@@ -106,10 +144,11 @@ class Gauge(_Metric):
         self.inc(-amount)
 
     def samples(self) -> list[tuple[str, str, float]]:
-        return [(self.name, self._label_str(), self.value)]
+        return [(self.name, self._label_str(), self.snapshot())]
 
     def snapshot(self):
-        return self.value
+        with self._lock:
+            return self.value
 
 
 class Histogram(_Metric):
@@ -137,64 +176,59 @@ class Histogram(_Metric):
                     self.bucket_counts[i] += 1
                     break
 
-    def quantile(self, q: float) -> float:
-        """Prometheus-style ``histogram_quantile``: linear interpolation.
+    def state(self) -> tuple[list[int], int, float]:
+        """Consistent ``(cumulative_counts, count, sum)`` triple.
 
-        Walks the cumulative bucket counts to the bucket containing the
-        q-th observation and interpolates linearly within it (lower edge 0
-        for the first bucket).  Returns ``nan`` with no observations and
-        the last finite bound when the quantile lands past it — the same
-        conventions PromQL uses.  Bucket-resolution accuracy only; serve
-        latency summaries (p50/p99) accept that tradeoff for O(1) memory.
+        Taken under the metric lock, so concurrent ``observe`` calls can
+        never produce a torn read where ``count`` disagrees with the
+        bucket counts (the SLO engine differences these snapshots, which
+        makes torn reads show up as phantom latency spikes).
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
-            count = self.count
-            cumulative = []
-            running = 0
-            for c in self.bucket_counts:
-                running += c
-                cumulative.append(running)
-        if count == 0:
-            return float("nan")
-        rank = q * count
-        for i, (bound, cum) in enumerate(zip(self.buckets, cumulative)):
-            if cum >= rank:
-                lower = self.buckets[i - 1] if i else 0.0
-                in_bucket = cum - (cumulative[i - 1] if i else 0)
-                if in_bucket == 0:
-                    return bound
-                frac = (rank - (cum - in_bucket)) / in_bucket
-                return lower + (bound - lower) * frac
-        return self.buckets[-1]
+            counts = list(self.bucket_counts)
+            count, total = self.count, self.sum
+        out, running = [], 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out, count, total
+
+    def quantile(self, q: float) -> float:
+        """Prometheus-style ``histogram_quantile`` over this histogram.
+
+        Bucket-resolution accuracy only; serve latency summaries
+        (p50/p99) accept that tradeoff for O(1) memory.  Edge-case
+        conventions (empty → ``nan``, q=0 → lower edge of the first
+        non-empty bucket, overflow clamps to the last finite bound) are
+        documented on :func:`histogram_quantile`.
+        """
+        cumulative, count, _ = self.state()
+        return histogram_quantile(self.buckets, cumulative, count, q)
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus ``le`` semantics: count of observations <= bound."""
-        out, running = [], 0
-        for c in self.bucket_counts:
-            running += c
-            out.append(running)
-        return out
+        return self.state()[0]
 
     def samples(self) -> list[tuple[str, str, float]]:
+        cumulative, count, total = self.state()
         base = dict(self.labels)
         out = []
-        for bound, cum in zip(self.buckets, self.cumulative_counts()):
+        for bound, cum in zip(self.buckets, cumulative):
             label_str = _label_string({**base, "le": _fmt(bound)})
             out.append((f"{self.name}_bucket", label_str, float(cum)))
         out.append((f"{self.name}_bucket",
                     _label_string({**base, "le": "+Inf"}),
-                    float(self.count)))
-        out.append((f"{self.name}_sum", self._label_str(), self.sum))
+                    float(count)))
+        out.append((f"{self.name}_sum", self._label_str(), total))
         out.append((f"{self.name}_count", self._label_str(),
-                    float(self.count)))
+                    float(count)))
         return out
 
     def snapshot(self):
-        return {"count": self.count, "sum": self.sum,
-                "buckets": {_fmt(b): c for b, c in
-                            zip(self.buckets, self.bucket_counts)}}
+        with self._lock:
+            return {"count": self.count, "sum": self.sum,
+                    "buckets": {_fmt(b): c for b, c in
+                                zip(self.buckets, self.bucket_counts)}}
 
 
 class _NullMetric:
@@ -255,10 +289,15 @@ class MetricsRegistry:
                                    labels or None, buckets=buckets)
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __iter__(self):
-        return iter(sorted(self._metrics.values(),
+        # snapshot under the lock: a concurrent _get_or_create during a
+        # scrape must not raise "dict changed size during iteration"
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(sorted(metrics,
                            key=lambda m: (m.name, m._label_str())))
 
     # -- exposition ------------------------------------------------------ #

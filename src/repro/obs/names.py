@@ -1,0 +1,102 @@
+"""Central metric-name registry: every series the reproduction emits.
+
+Metric names are API.  A typo'd duplicate (``serve_shed_total`` vs
+``serve_sheds_total``) silently splits one logical series into two and
+every dashboard/SLO built on it under-counts — so the S007 lint pass
+requires every literal name passed to :func:`repro.obs.counter` /
+:func:`gauge` / :func:`histogram` (or the ``Counter``/``Gauge``/
+``Histogram`` constructors) to be declared here.  Declaring is cheap:
+add one line with a help string.  Genuinely ad-hoc series (tests,
+one-off experiments) can opt out at the call site with
+``# obs: adhoc-metric-ok``.
+
+The registry also powers :func:`repro.obs.slo.SLOEngine` defaults and
+keeps docs/observability.md's instrumentation table honest.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_NAMES", "declared_names", "is_declared", "declare"]
+
+#: name -> one-line help string.  Keep alphabetized within each block.
+METRIC_NAMES: dict[str, str] = {
+    # -- lint ----------------------------------------------------------- #
+    "lint_diagnostics_total": "diagnostics emitted, labeled by code",
+    "lint_preflight_failures_total": "graphs rejected by lint preflight",
+    # -- obs ------------------------------------------------------------ #
+    "slo_evaluations_total": "SLO spec evaluations performed",
+    "slo_violations_total": "SLO evaluations that breached objective",
+    # -- perf ----------------------------------------------------------- #
+    "perf_batch_pad_waste": "padding fraction per batched forward",
+    "perf_cache_corrupt_total": "dataset cache entries dropped as corrupt",
+    "perf_cache_hits_total": "dataset cache hits",
+    "perf_cache_misses_total": "dataset cache misses",
+    "perf_spd_memo_hits_total": "SPD memo hits",
+    "perf_spd_memo_misses_total": "SPD memo misses",
+    "perf_worker_busy_seconds": "per-worker busy time in parallel "
+                                "generation",
+    # -- profiler ------------------------------------------------------- #
+    "profiler_kernel_duration_us": "simulated kernel durations",
+    "profiler_kernel_occupancy": "simulated kernel occupancies",
+    "profiler_kernels_total": "kernels profiled",
+    "profiler_oom_total": "profiles aborted by simulated OOM",
+    # -- resilience ----------------------------------------------------- #
+    "resilience_checkpoints_total": "checkpoints written",
+    "resilience_fallbacks_total": "fallback-chain tier invocations",
+    "resilience_faults_total": "injected faults, labeled by component "
+                               "and kind",
+    "resilience_restores_total": "checkpoint restores",
+    "resilience_retries": "retry attempts per recovered operation",
+    # -- sched ---------------------------------------------------------- #
+    "sched_events_total": "simulator events processed",
+    "sched_gpu_busy_seconds_total": "per-GPU busy time",
+    "sched_queue_depth": "jobs waiting for a GPU",
+    # -- serve ---------------------------------------------------------- #
+    "serve_batch_size": "requests coalesced per micro-batch flush",
+    "serve_dispatch_errors_total": "requests failed by a dispatch "
+                                   "exception",
+    "serve_encoding_cache_hits_total": "requests served a memoized "
+                                       "encoding",
+    "serve_encoding_cache_misses_total": "requests that had to encode "
+                                         "features",
+    "serve_latency_seconds": "end-to-end serve request latency",
+    "serve_quality_abs_residual": "|prediction - simulator ground truth| "
+                                  "for sampled requests",
+    "serve_quality_ape": "absolute percentage error for sampled requests",
+    "serve_quality_drift_alarms_total": "rolling-MAPE drift threshold "
+                                        "crossings",
+    "serve_quality_drift_score": "rolling MAPE over the quality window",
+    "serve_quality_samples_total": "served predictions re-labeled by the "
+                                   "quality monitor",
+    "serve_queue_depth": "requests waiting in the micro-batch queue",
+    "serve_requests_total": "prediction requests accepted by the service",
+    "serve_result_cache_hits_total": "requests answered from the result "
+                                     "cache",
+    "serve_result_cache_misses_total": "requests that needed a forward "
+                                       "pass",
+    "serve_shed_total": "requests shed to the fallback chain (queue full)",
+    # -- trainer -------------------------------------------------------- #
+    "trainer_best_state_restores_total": "early-stop best-state restores",
+    "trainer_loss": "training loss per epoch",
+    "trainer_lr": "learning rate per epoch",
+}
+
+
+def declared_names() -> frozenset[str]:
+    """The set of governed metric names (S007 checks against this)."""
+    return frozenset(METRIC_NAMES)
+
+
+def is_declared(name: str) -> bool:
+    return name in METRIC_NAMES
+
+
+def declare(name: str, description: str = "") -> str:
+    """Runtime escape hatch for extensions: register a name, return it.
+
+    Downstream code embedding repro can declare its own series instead
+    of sprinkling lint opt-outs; returns the name so call sites can do
+    ``counter(declare("my_total", "..."))``.
+    """
+    METRIC_NAMES.setdefault(name, description)
+    return name

@@ -13,7 +13,8 @@ import json
 from dataclasses import dataclass
 
 __all__ = ["SpanStat", "load_trace_file", "span_stats", "summarize_trace",
-           "format_metrics_table"]
+           "format_metrics_table", "request_groups", "span_tree",
+           "format_request_summary"]
 
 
 @dataclass
@@ -111,6 +112,88 @@ def format_metrics_table(metrics: dict) -> str:
                      for name, kind, text in rows)
 
 
+def request_groups(trace: dict) -> dict[str, list[dict]]:
+    """Events grouped by ``args.request_id``, each sorted by start time.
+
+    Only spans recorded inside a request scope carry the id (see
+    :mod:`repro.obs.context`); context-free spans are not grouped.
+    """
+    groups: dict[str, list[dict]] = {}
+    for ev in trace.get("traceEvents", ()):
+        if ev.get("ph") != "X":
+            continue
+        rid = (ev.get("args") or {}).get("request_id")
+        if rid is not None:
+            groups.setdefault(str(rid), []).append(ev)
+    for events in groups.values():
+        events.sort(key=lambda e: float(e.get("ts", 0.0)))
+    return groups
+
+
+def span_tree(events) -> dict:
+    """Parent/child structure of one request's events, by span id.
+
+    A *root* is an event whose ``parent_span_id`` is absent or resolves
+    outside the group (the enclosing non-request span, e.g. a
+    ``predict_many`` or simulate wrapper).  ``connected`` is the
+    acceptance property: exactly one root, every other span's parent in
+    the group — i.e. caller-thread and dispatcher-thread spans stitched
+    into a single tree.
+    """
+    by_id: dict[int, dict] = {}
+    for ev in events:
+        sid = (ev.get("args") or {}).get("span_id")
+        if sid is not None:
+            by_id[int(sid)] = ev
+    roots: list[int] = []
+    children: dict[int, list[int]] = {}
+    for sid, ev in sorted(by_id.items()):
+        parent = (ev.get("args") or {}).get("parent_span_id")
+        if parent is not None and int(parent) in by_id:
+            children.setdefault(int(parent), []).append(sid)
+        else:
+            roots.append(sid)
+    return {"roots": roots, "children": children,
+            "spans": sorted(by_id),
+            "connected": len(roots) == 1 and len(by_id) > 0}
+
+
+def format_request_summary(trace: dict, limit: int = 10) -> str:
+    """Per-request view: one line per request, newest requests last.
+
+    Shows each request's span tree rendered root-first with
+    indentation, flagging any request whose spans do not form a single
+    connected tree (a broken context handoff).
+    """
+    groups = request_groups(trace)
+    if not groups:
+        return "(no request-scoped spans in trace)"
+    lines = [f"requests: {len(groups)} traced"
+             f" (showing last {min(limit, len(groups))})"]
+    shown = sorted(groups.items(),
+                   key=lambda kv: float(kv[1][0].get("ts", 0.0)))[-limit:]
+    for rid, events in shown:
+        tree = span_tree(events)
+        trace_id = (events[0].get("args") or {}).get("trace_id", "?")
+        flag = "" if tree["connected"] else "  [DISCONNECTED]"
+        lines.append(f"  {rid} ({trace_id}, {len(events)} spans){flag}")
+        by_id = {int((e.get('args') or {})['span_id']): e
+                 for e in events
+                 if (e.get("args") or {}).get("span_id") is not None}
+
+        def _render(sid: int, indent: int) -> None:
+            ev = by_id[sid]
+            dur = float(ev.get("dur", 0.0))
+            lines.append(f"    {'  ' * indent}{ev.get('name', '?')} "
+                         f"({dur / 1e3:.3f} ms)")
+            for child in tree["children"].get(sid, ()):
+                _render(child, indent + 1)
+
+        for root in tree["roots"]:
+            _render(root, 0)
+    return "\n".join(lines)
+
+
 def summarize_trace(trace: dict, top: int = 15) -> str:
     """Human-readable summary: header, top spans by self-time, metrics."""
     events = [e for e in trace.get("traceEvents", ())
@@ -143,4 +226,17 @@ def summarize_trace(trace: dict, top: int = 15) -> str:
         lines.append("")
         lines.append("metrics:")
         lines.append(format_metrics_table(metrics))
+
+    groups = request_groups(trace)
+    if groups:
+        broken = sum(1 for evs in groups.values()
+                     if not span_tree(evs)["connected"])
+        note = f", {broken} disconnected" if broken else ""
+        lines.append("")
+        lines.append(f"requests: {len(groups)} traced{note} "
+                     "(--requests N expands per-request trees)")
+    flight = other.get("flight")
+    if flight:
+        lines.append(f"flight recorder: {len(flight)} request records "
+                     "(--requests N prints them)")
     return "\n".join(lines)

@@ -22,11 +22,14 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
 from dataclasses import dataclass, field
+
+from .context import current_context
 
 __all__ = ["SpanRecord", "Tracer", "span", "get_tracer", "install_tracer",
            "uninstall_tracer", "tracing_enabled", "to_chrome_trace"]
@@ -45,6 +48,13 @@ class SpanRecord:
     #: nesting depth on this thread at entry (0 = top level)
     depth: int
     attrs: dict = field(default_factory=dict)
+    #: tracer-unique id; 0 only on records built without a tracer
+    span_id: int = 0
+    #: enclosing span on this thread, else the captured handoff parent
+    parent_id: int | None = None
+    #: request identity stamped from the ambient SpanContext, if any
+    trace_id: str | None = None
+    request_id: str | None = None
 
     @property
     def end_us(self) -> float:
@@ -54,7 +64,8 @@ class SpanRecord:
 class _ActiveSpan:
     """Context manager recording one span into its tracer on exit."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_start_ns", "_depth")
+    __slots__ = ("_tracer", "_name", "_attrs", "_start_ns", "_depth",
+                 "_span_id", "_parent_id", "_ctx")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
@@ -62,7 +73,9 @@ class _ActiveSpan:
         self._attrs = attrs
 
     def __enter__(self) -> "_ActiveSpan":
-        self._depth = self._tracer._enter_depth()
+        self._ctx = current_context()
+        self._span_id, self._parent_id, self._depth = \
+            self._tracer._enter_span(self._ctx)
         self._start_ns = time.perf_counter_ns()
         return self
 
@@ -71,9 +84,15 @@ class _ActiveSpan:
         if exc_type is not None:
             self._attrs["error"] = exc_type.__name__
         self._tracer._record(self._name, self._start_ns, end_ns,
-                             self._depth, self._attrs)
-        self._tracer._exit_depth()
+                             self._depth, self._attrs,
+                             span_id=self._span_id,
+                             parent_id=self._parent_id, ctx=self._ctx)
+        self._tracer._exit_span()
         return False
+
+    @property
+    def span_id(self) -> int:
+        return self._span_id
 
     def set_attr(self, **attrs) -> None:
         """Attach attributes discovered while the span is open."""
@@ -99,31 +118,62 @@ NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Collects :class:`SpanRecord` events from :func:`span` regions."""
+    """Collects :class:`SpanRecord` events from :func:`span` regions.
+
+    Span ids come from one tracer-wide counter; the per-thread *stack*
+    of open span ids both tracks nesting depth and resolves each span's
+    parent.  When a thread's stack is empty the parent falls back to the
+    ambient :class:`~repro.obs.context.SpanContext`'s captured
+    ``parent_span_id`` — that is what stitches dispatcher-thread spans
+    onto the submitting request's tree.
+    """
 
     def __init__(self) -> None:
         self._t0_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._ids = itertools.count(1)
         self.events: list[SpanRecord] = []
 
     # -- span bookkeeping ------------------------------------------------ #
-    def _enter_depth(self) -> int:
-        depth = getattr(self._local, "depth", 0)
-        self._local.depth = depth + 1
-        return depth
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
-    def _exit_depth(self) -> None:
-        self._local.depth -= 1
+    def _enter_span(self, ctx) -> tuple[int, int | None, int]:
+        """Allocate an id; returns (span_id, parent_id, depth)."""
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+        else:
+            parent = ctx.parent_span_id if ctx is not None else None
+        span_id = next(self._ids)  # itertools.count: GIL-atomic
+        depth = len(stack)
+        stack.append(span_id)
+        return span_id, parent, depth
+
+    def _exit_span(self) -> None:
+        self._stack().pop()
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost span open on the calling thread."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     def _record(self, name: str, start_ns: int, end_ns: int, depth: int,
-                attrs: dict) -> None:
+                attrs: dict, span_id: int = 0,
+                parent_id: int | None = None, ctx=None) -> None:
         rec = SpanRecord(
             name=name,
             start_us=(start_ns - self._t0_ns) / 1e3,
             duration_us=(end_ns - start_ns) / 1e3,
             pid=os.getpid(), tid=threading.get_ident(),
-            depth=depth, attrs=attrs)
+            depth=depth, attrs=attrs, span_id=span_id,
+            parent_id=parent_id,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            request_id=ctx.request_id if ctx is not None else None)
         with self._lock:
             self.events.append(rec)
 
@@ -194,15 +244,29 @@ def to_chrome_trace(tracer: Tracer, metrics: dict | None = None,
     ``chrome://tracing`` or https://ui.perfetto.dev.  A metrics snapshot
     (from :meth:`repro.obs.metrics.MetricsRegistry.to_dict`) rides along
     under ``otherData.metrics`` so ``repro obs`` can print both.
+
+    Spans recorded inside a request scope additionally carry
+    ``trace_id`` / ``request_id`` / ``span_id`` / ``parent_span_id`` in
+    ``args``, which is what lets the summarizer regroup a request's
+    spans across threads into one tree.  Context-free spans keep their
+    bare ``args`` so pre-existing traces round-trip unchanged.
     """
     events = []
     with tracer._lock:
         records = list(tracer.events)
     for rec in sorted(records, key=lambda r: r.start_us):
+        args = rec.attrs
+        if rec.trace_id is not None:
+            args = dict(args)
+            args["trace_id"] = rec.trace_id
+            args["request_id"] = rec.request_id
+            args["span_id"] = rec.span_id
+            if rec.parent_id is not None:
+                args["parent_span_id"] = rec.parent_id
         events.append({
             "name": rec.name, "ph": "X", "ts": rec.start_us,
             "dur": rec.duration_us, "pid": rec.pid, "tid": rec.tid,
-            "args": rec.attrs,
+            "args": args,
         })
     trace = {
         "traceEvents": events,

@@ -224,12 +224,15 @@ def bench_generate(scale: float = 1.0) -> dict:
     }
 
 
-def run_benchmarks(scale: float = 1.0, serve: bool = True) -> dict:
+def run_benchmarks(scale: float = 1.0, serve: bool = True,
+                   obs: bool = True) -> dict:
     """Run every suite; returns the ``BENCH_perf.json`` document.
 
     ``serve=True`` also runs the serving suites (``repro.serve.bench``)
     and merges their gates, so ``repro bench --check`` covers the online
-    path too; ``repro serve-bench`` runs them standalone.
+    path too; ``repro serve-bench`` runs them standalone.  ``obs=True``
+    does the same for the observability suites (``repro.obs.bench`` /
+    ``repro obs-bench``), including the tracing-overhead guard.
     """
     results = {
         "meta": {
@@ -249,6 +252,11 @@ def run_benchmarks(scale: float = 1.0, serve: bool = True) -> dict:
         serve_doc = run_serve_benchmarks(scale)
         results["serve"] = {k: v for k, v in serve_doc.items()
                             if k not in ("meta", "gates")}
+    if obs:
+        from ..obs.bench import run_obs_benchmarks
+        obs_doc = run_obs_benchmarks(scale)
+        results["obs"] = {k: v for k, v in obs_doc.items()
+                          if k not in ("meta", "gates")}
     results["gates"] = evaluate_gates(results)
     return results
 
@@ -267,6 +275,9 @@ def evaluate_gates(results: dict) -> dict:
     if "serve" in results:
         from ..serve.bench import evaluate_serve_gates
         gates.update(evaluate_serve_gates(results["serve"]))
+    if "obs" in results:
+        from ..obs.bench import evaluate_obs_gates
+        gates.update(evaluate_obs_gates(results["obs"]))
     return gates
 
 
@@ -295,6 +306,14 @@ def format_summary(results: dict) -> str:
             f"{s['warm_cache']['speedup']:.0f}x, p99 "
             f"{s['latency']['latency_s']['p99'] * 1e3:.2f}ms, "
             f"{s['overload']['shed']} shed under overload")
+    if "obs" in results:
+        o = results["obs"]["tracing_overhead"]
+        lines.append(
+            f"obs     : tracing-off overhead "
+            f"{100 * o['off_overhead']:+.2f}% (budget "
+            f"{100 * o['overhead_budget']:.0f}%), traced "
+            f"{100 * o['on_overhead']:+.2f}%; slo healthy="
+            f"{results['obs']['slo']['healthy_ok']}")
     lines.append("gates   : " + "  ".join(
         f"{k}={'PASS' if v else 'FAIL'}"
         for k, v in results["gates"].items()))

@@ -20,6 +20,7 @@ so fault-free results stay bit-identical to the seed implementation.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from collections import deque
 from dataclasses import dataclass
@@ -27,8 +28,9 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as _np
 
+from ..obs.context import request_scope
 from ..obs.metrics import counter, gauge, histogram
-from ..obs.tracing import span
+from ..obs.tracing import span, tracing_enabled
 from .interference import InterferenceModel
 from .job import Job
 from .policies import PackingPolicy
@@ -318,9 +320,14 @@ def simulate(jobs: Sequence[Job], num_gpus: int, policy: PackingPolicy,
                            "per-job retry counts over one simulation",
                            buckets=RETRY_BUCKETS)
 
-    with span("sched.simulate", policy=policy.name, gpus=num_gpus,
-              jobs=len(jobs), placement=placement,
-              faults=faults is not None):
+    # One simulate run is one trace: request-scope the outer span (only
+    # when tracing, so the untraced hot path mints no ids) and every
+    # sched.event span inherits the run's trace_id/request_id.
+    scope = request_scope() if tracing_enabled() \
+        else contextlib.nullcontext()
+    with scope, span("sched.simulate", policy=policy.name, gpus=num_gpus,
+                     jobs=len(jobs), placement=placement,
+                     faults=faults is not None):
         try_place()
         queue_gauge.set(len(pending))
         while pending or any(running):

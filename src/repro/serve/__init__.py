@@ -11,12 +11,21 @@ This package provides them (see docs/serving.md):
   weights + content-addressed result/encoding caches) behind the
   synchronous :class:`PredictorService` facade, with bounded-queue
   overload shedding into the resilience fallback chain;
+* :mod:`repro.serve.quality` — background :class:`QualityMonitor`
+  re-labeling sampled predictions against the simulator (rolling MAPE,
+  calibration bins, drift alarms; see docs/observability.md);
 * :mod:`repro.serve.bench` — the serving throughput/latency suite behind
   the ``repro serve-bench`` CLI and the ``repro bench --check`` gates.
+
+Requests are request-scoped for observability: each carries a
+``request_id``/``trace_id`` across the batcher's thread handoff, lands
+in the service's flight-recorder ring, and renders as one connected
+span tree in Chrome-trace exports.
 """
 
 from .batcher import MicroBatcher, QueueFullError, Ticket
+from .quality import QualityMonitor, simulator_labeler
 from .service import ModelSession, PredictorService
 
 __all__ = ["MicroBatcher", "QueueFullError", "Ticket", "ModelSession",
-           "PredictorService"]
+           "PredictorService", "QualityMonitor", "simulator_labeler"]

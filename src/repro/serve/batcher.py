@@ -27,7 +27,9 @@ import time
 from collections import deque
 from typing import Callable, Sequence
 
-from ..obs.metrics import gauge, histogram
+from ..obs.context import capture_context, use_context
+from ..obs.metrics import counter, gauge, histogram
+from ..obs.tracing import span
 
 __all__ = ["MicroBatcher", "Ticket", "QueueFullError"]
 
@@ -48,15 +50,22 @@ class Ticket:
 
     ``result()`` blocks the submitting thread until the dispatcher
     resolves the ticket (or re-raises the dispatch exception).
+
+    Creation captures the submitting thread's span context (``ctx``) —
+    the request/trace ids plus the id of the span open at the handoff —
+    so the dispatcher thread can re-attach it when resolving and its
+    spans parent into the request's tree instead of starting a
+    disconnected root.  ``None`` outside a request scope.
     """
 
-    __slots__ = ("_event", "_value", "_exc", "enqueued_at")
+    __slots__ = ("_event", "_value", "_exc", "enqueued_at", "ctx")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value = None
         self._exc: BaseException | None = None
         self.enqueued_at = time.monotonic()
+        self.ctx = capture_context()
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -180,18 +189,43 @@ class MicroBatcher:
             if batch is None:
                 return
             items = [item for item, _ in batch]
+            now = time.monotonic()
             try:
-                results = list(self._dispatch(items))
-                if len(results) != len(items):
-                    raise RuntimeError(
-                        f"dispatch returned {len(results)} results for "
-                        f"{len(items)} requests")
+                with span("serve.flush", batch=len(items)):
+                    results = list(self._dispatch(items))
+                    if len(results) != len(items):
+                        raise RuntimeError(
+                            f"dispatch returned {len(results)} results "
+                            f"for {len(items)} requests")
             except Exception as exc:
+                counter("serve_dispatch_errors_total",
+                        "requests failed by a dispatch exception").inc(
+                            len(batch))
                 for _, ticket in batch:
-                    ticket.set_exception(exc)
+                    self._resolve(ticket, len(items), now,
+                                  exception=exc)
             else:
                 for (_, ticket), value in zip(batch, results):
-                    ticket.set_result(value)
+                    self._resolve(ticket, len(items), now, value=value)
+
+    def _resolve(self, ticket: Ticket, batch_size: int, flushed_at: float,
+                 value=None, exception: BaseException | None = None) \
+            -> None:
+        """Resolve one ticket under its captured request context.
+
+        The re-attach is what joins the dispatcher's side of the story
+        to the request tree: ``serve.resolve`` parents to the span that
+        was open when the ticket was created (normally
+        ``serve.request`` on the caller thread).
+        """
+        with use_context(ticket.ctx), \
+                span("serve.resolve", batch=batch_size,
+                     wait_ms=round(1e3 * (flushed_at
+                                          - ticket.enqueued_at), 3)):
+            if exception is not None:
+                ticket.set_exception(exception)
+            else:
+                ticket.set_result(value)
 
     def _collect(self) -> list[tuple[object, Ticket]] | None:
         """Block until a flush fires; pop and account for its batch."""

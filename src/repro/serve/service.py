@@ -35,7 +35,10 @@ import numpy as np
 from ..features import GraphFeatures, encode_graph
 from ..gpu import DeviceSpec
 from ..obs import get_logger
+from ..obs.context import request_scope, new_request_seq
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import Histogram, counter, histogram
+from ..obs.tracing import span, tracing_enabled
 from ..perf.batching import bucket_by_size, ensure_spd
 from ..perf.cache import graph_key
 from ..resilience import FallbackPredictor, default_fallback_chain
@@ -83,6 +86,31 @@ class _LRU:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+
+
+class _Request:
+    """One queued prediction request, as the dispatcher will see it.
+
+    Carries the request/trace ids minted at enqueue plus enough identity
+    (graph, device, cache outcome) for the flight recorder and quality
+    monitor to describe the request after it resolves on the dispatcher
+    thread.  (Span re-attachment across the queue is the
+    :class:`~repro.serve.batcher.Ticket`'s job, not this one's.)
+    """
+
+    __slots__ = ("feats", "key", "start", "graph", "device", "cache",
+                 "rid", "tid")
+
+    def __init__(self, feats, key, start, graph, device, cache,
+                 rid, tid):
+        self.feats = feats
+        self.key = key
+        self.start = start
+        self.graph = graph
+        self.device = device
+        self.cache = cache
+        self.rid = rid
+        self.tid = tid
 
 
 class ModelSession:
@@ -156,6 +184,17 @@ class PredictorService:
         degradation instead.
     cache_size:
         Capacity of the result and encoding LRUs.
+    flight_capacity:
+        Ring size of the request :class:`~repro.obs.FlightRecorder`
+        (last-N request records, always on).  0 disables recording —
+        together with observability off, that removes per-request
+        context creation entirely (the bench overhead guard's
+        "untraced baseline").
+    quality:
+        Optional :class:`~repro.serve.quality.QualityMonitor`; every
+        served or shed prediction is offered to it for sampled
+        re-labeling against the simulator.  The caller owns its
+        lifecycle.
     """
 
     #: make_job protocol: call me with (graph, device), not features.
@@ -166,7 +205,8 @@ class PredictorService:
                  max_batch_size: int = 32, deadline_s: float = 0.002,
                  max_queue_depth: int = 256,
                  fallback: FallbackPredictor | None = None,
-                 cache_size: int = 1024):
+                 cache_size: int = 1024, flight_capacity: int = 256,
+                 quality=None):
         if session is None:
             if model is None or device is None:
                 raise ValueError(
@@ -175,6 +215,10 @@ class PredictorService:
         self.session = session
         self.fallback = fallback if fallback is not None \
             else default_fallback_chain()
+        self.flight = FlightRecorder(flight_capacity) \
+            if flight_capacity > 0 else None
+        self.quality = quality
+        self._device_name = getattr(session.device, "name", "?")
         self.batcher = MicroBatcher(
             self._dispatch_batch,
             max_batch_size=max_batch_size, deadline_s=deadline_s,
@@ -201,9 +245,32 @@ class PredictorService:
         Resolved immediately on a result-cache hit and on shed (the
         fallback chain runs synchronously on the calling thread — bounded
         latency is the whole point of shedding).
+
+        With the flight recorder or tracing active, the request runs
+        inside a :func:`~repro.obs.request_scope`: it gets a
+        ``request_id``/``trace_id``, a ``serve.request`` root span, and
+        one :class:`~repro.obs.FlightRecord` at completion.  With both
+        off the original untraced fast path runs unchanged.
         """
         start = time.monotonic()
         self._count_request()
+        if tracing_enabled():
+            with request_scope() as ctx:
+                with span("serve.request",
+                          graph=getattr(graph, "name", "") or "<graph>"):
+                    return self._request(graph, device, start,
+                                         ctx.request_id, ctx.trace_id)
+        if self.flight is not None:
+            # Flight-only: mint a raw sequence number for the ring
+            # without paying for a context scope or the id formatting
+            # (the recorder formats at read time); the record carries
+            # the "-" placeholder trace id.
+            return self._request(graph, device, start,
+                                 new_request_seq(), "-")
+        return self._request(graph, device, start, None, None)
+
+    def _request(self, graph, device, start: float, rid, tid) -> Ticket:
+        """Cache lookup → encode → enqueue (or shed), one request."""
         key = self.session.key_for(graph, device)
         cached = self.session.results.get(key)
         if cached is not None:
@@ -211,15 +278,23 @@ class PredictorService:
                     "serve requests answered from the result cache").inc()
             ticket = Ticket()
             ticket.set_result(cached)
-            self._observe_latency(start)
+            elapsed = self._observe_latency(start)
+            self._finish(rid, tid, graph, device, elapsed, "served",
+                         "result_hit", cached)
             return ticket
         counter("serve_result_cache_misses_total",
                 "serve requests that needed a forward pass").inc()
-        feats = self.session.encode(graph, device, key=key)
+        cache = "encoding_hit" if rid is not None and \
+            self.session.encodings.get(key) is not None else "miss"
+        with span("serve.encode"):
+            feats = self.session.encode(graph, device, key=key)
         try:
-            return self.batcher.submit((feats, key, start))
+            with span("serve.enqueue"):
+                return self.batcher.submit(
+                    _Request(feats, key, start, graph, device, cache,
+                             rid, tid))
         except QueueFullError:
-            return self._shed_request(graph, device, start)
+            return self._shed_request(graph, device, start, rid, tid)
 
     def predict_many(self, graphs, device: DeviceSpec | None = None) \
             -> np.ndarray:
@@ -231,6 +306,13 @@ class PredictorService:
         input order.  Cache semantics match :meth:`predict`.
         """
         graphs = list(graphs)
+        if not tracing_enabled():
+            return self._predict_many(graphs, device)
+        with request_scope():
+            with span("serve.predict_many", n=len(graphs)):
+                return self._predict_many(graphs, device)
+
+    def _predict_many(self, graphs, device) -> np.ndarray:
         out = np.zeros(len(graphs))
         miss_idx: list[int] = []
         miss_feats: list[GraphFeatures] = []
@@ -252,10 +334,15 @@ class PredictorService:
             miss_keys.append(key)
         for idx, chunk in bucket_by_size(miss_feats,
                                          self.batcher.max_batch_size):
-            values = self.session.predict_features(chunk)
+            with span("serve.forward", batch=len(chunk)):
+                values = self.session.predict_features(chunk)
             for j, value in zip(idx, values):
                 out[miss_idx[j]] = value
                 self.session.results.put(miss_keys[j], value)
+        if self.quality is not None:
+            for i, graph in enumerate(graphs):
+                self.quality.offer(graph, device or self.session.device,
+                                   float(out[i]))
         return out
 
     def __call__(self, graph, device: DeviceSpec | None = None) \
@@ -274,7 +361,8 @@ class PredictorService:
         with self._stat_lock:
             self._requests += 1
 
-    def _shed_request(self, graph, device, start: float) -> Ticket:
+    def _shed_request(self, graph, device, start: float,
+                      rid, tid) -> Ticket:
         counter("serve_shed_total",
                 "requests shed to the fallback chain (queue full)").inc()
         with self._stat_lock:
@@ -282,30 +370,71 @@ class PredictorService:
         _log.warning("queue full; shedding to fallback chain", extra={
             "graph": getattr(graph, "name", "") or "<graph>",
             "depth": self.batcher.max_queue_depth})
-        mean, _std = self.fallback(graph, device or self.session.device)
+        with span("serve.fallback") as sp:
+            mean, _std = self.fallback(graph,
+                                       device or self.session.device)
+            sp.set_attr(tier=self.fallback.last_tier)
         ticket = Ticket()
         ticket.set_result(float(mean))
-        self._observe_latency(start)
+        elapsed = self._observe_latency(start)
+        self._finish(rid, tid, graph, device, elapsed, "shed", "miss",
+                     float(mean), tier=self.fallback.last_tier)
         return ticket
 
     def _dispatch_batch(self, requests) -> list[float]:
         """MicroBatcher dispatch: forward, fill the cache, record latency.
 
-        Each queued item is ``(features, content_key, start_monotonic)``;
-        runs on the dispatcher thread.
+        Each queued item is a :class:`_Request`; runs on the dispatcher
+        thread.  A forward failure records one flight ``error`` entry
+        per request before the exception fails the batch's tickets.
         """
-        values = self.session.predict_features([f for f, _, _ in requests])
-        for (_, key, start), value in zip(requests, values):
-            self.session.results.put(key, value)
-            self._observe_latency(start)
+        try:
+            with span("serve.forward", batch=len(requests)):
+                values = self.session.predict_features(
+                    [r.feats for r in requests])
+        except Exception as exc:
+            now = time.monotonic()
+            for req in requests:
+                self._finish(req.rid, req.tid, req.graph, req.device,
+                             now - req.start, "error", req.cache, None,
+                             batch=len(requests),
+                             error=type(exc).__name__)
+            raise
+        for req, value in zip(requests, values):
+            self.session.results.put(req.key, value)
+            elapsed = self._observe_latency(req.start)
+            self._finish(req.rid, req.tid, req.graph, req.device,
+                         elapsed, "served", req.cache, value,
+                         batch=len(requests))
         return values
 
-    def _observe_latency(self, start: float) -> None:
+    def _finish(self, rid, tid, graph, device, latency_s: float,
+                outcome: str, cache: str, value, batch: int = 0,
+                tier=None, error=None) -> None:
+        """Request epilogue: flight record + quality sample offer."""
+        if self.quality is not None and value is not None:
+            self.quality.offer(graph, device or self.session.device,
+                               float(value))
+        if self.flight is not None and rid is not None:
+            # Bare tuple append: this runs per request even with the
+            # tracer off, inside the 2% overhead budget — the recorder
+            # coerces to FlightRecord when read.
+            self.flight.record((
+                rid, tid,
+                getattr(graph, "name", "") or "<graph>",
+                self._device_name if device is None
+                else getattr(device, "name", "?"),
+                outcome, cache, latency_s,
+                None if value is None else float(value),
+                batch, tier, error))
+
+    def _observe_latency(self, start: float) -> float:
         elapsed = time.monotonic() - start
         self._latency.observe(elapsed)
         histogram("serve_latency_seconds",
                   "end-to-end serve request latency",
                   buckets=_LATENCY_BUCKETS).observe(elapsed)
+        return elapsed
 
     # -- introspection / lifecycle --------------------------------------- #
     def latency_quantiles(self) -> dict[str, float]:
@@ -318,7 +447,7 @@ class PredictorService:
         """Snapshot of the service's counters and queue accounting."""
         with self._stat_lock:
             requests, shed = self._requests, self._shed
-        return {
+        out = {
             "requests": requests,
             "shed": shed,
             "result_cache_entries": len(self.session.results),
@@ -329,6 +458,11 @@ class PredictorService:
             "latency": self.latency_quantiles(),
             "fallback_tiers": self.fallback.counts(),
         }
+        if self.flight is not None:
+            out["flight"] = self.flight.summary()
+        if self.quality is not None:
+            out["quality"] = self.quality.stats()
+        return out
 
     def close(self) -> None:
         """Drain and stop the dispatcher; further predicts will fail."""

@@ -124,3 +124,39 @@ class TestLintExitCodeContract:
     def test_self_lint_runs_clean(self, capsys):
         assert main(["lint", "--self"]) == 0
         assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestObsSloCommands:
+    def test_slo_parser_defaults(self):
+        args = build_parser().parse_args(["slo"])
+        assert args.requests == 60 and args.device == "A100"
+        assert args.window == 30.0 and not args.check
+
+    def test_obs_bench_parser_defaults(self):
+        args = build_parser().parse_args(["obs-bench", "--scale", "0.5"])
+        assert args.command == "obs-bench"
+        assert args.scale == 0.5 and args.out is None and not args.check
+
+    def test_slo_check_passes_on_healthy_run(self, capsys):
+        assert main(["slo", "--requests", "6", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "6 requests on A100" in out
+        assert "serve-p99-latency" in out
+        assert "serve-shed-rate" in out
+
+    def test_slo_trace_feeds_obs_request_view(self, tmp_path, capsys):
+        out = str(tmp_path / "slo_trace.json")
+        assert main(["slo", "--requests", "6", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["obs", out, "--requests", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "flight recorder" in text
+        assert "req-" in text
+        assert "serve.request" in text
+
+    def test_obs_requests_flag_defaults_off(self, tmp_path, capsys):
+        out = str(tmp_path / "slo_trace.json")
+        assert main(["slo", "--requests", "4", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["obs", out]) == 0
+        assert "flight recorder (last" not in capsys.readouterr().out

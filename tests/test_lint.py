@@ -387,6 +387,62 @@ def test_s006_opt_out_comment(tmp_path):
     assert not c
 
 
+def test_s007_undeclared_metric_name(tmp_path):
+    c = _lint_source(tmp_path,
+                     "__all__ = []\n"
+                     "from repro.obs import counter\n"
+                     "def f():\n"
+                     "    counter('made_up_total').inc()\n")
+    assert c["S007"] == 1
+    assert set(c) == {"S007"}
+
+
+def test_s007_declared_names_clean(tmp_path):
+    assert not _lint_source(
+        tmp_path,
+        "__all__ = []\n"
+        "from repro.obs import counter, histogram\n"
+        "def f(reg):\n"
+        "    counter('serve_requests_total').inc()\n"
+        "    reg.histogram('serve_latency_seconds')\n")
+
+
+def test_s007_constructor_form_flagged(tmp_path):
+    c = _lint_source(tmp_path,
+                     "__all__ = []\n"
+                     "from repro.obs.metrics import Histogram\n"
+                     "h = Histogram('bespoke_latency_seconds', (0.1,))\n")
+    assert c["S007"] == 1
+
+
+def test_s007_opt_out_comment(tmp_path):
+    assert not _lint_source(
+        tmp_path,
+        "__all__ = []\n"
+        "from repro.obs import gauge\n"
+        "def f():\n"
+        "    # obs: adhoc-metric-ok -- scratch experiment\n"
+        "    gauge('scratch_value').set(1.0)\n")
+
+
+def test_s007_dynamic_name_out_of_scope(tmp_path):
+    assert not _lint_source(
+        tmp_path,
+        "__all__ = []\n"
+        "from repro.obs import counter\n"
+        "def f(name):\n"
+        "    counter(name).inc()\n")
+
+
+def test_s007_names_module_exempt(tmp_path):
+    (tmp_path / "obs").mkdir()
+    f = tmp_path / "obs" / "names.py"
+    f.write_text("__all__ = []\n"
+                 "from repro.obs import counter\n"
+                 "counter('anything_goes_here_total')\n")
+    assert not codes(lint_paths([str(f)]))
+
+
 def test_directory_lint_recurses(tmp_path):
     (tmp_path / "sub").mkdir()
     (tmp_path / "sub" / "a.py").write_text("x = 1\n")

@@ -1,0 +1,372 @@
+"""Request-scoped tracing: span context, cross-thread handoff, Chrome
+round-trip with request grouping, and the flight recorder.
+
+The tentpole contract under test: a request that enters on the caller
+thread and resolves on the MicroBatcher dispatcher thread renders as
+ONE connected span tree, keyed by a deterministic request_id/trace_id
+pair, and the flight recorder keeps a bounded last-N record of every
+request the service completed."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core import DNNOccu, DNNOccuConfig
+from repro.gpu import get_device
+from repro.models import ModelConfig, build_model
+from repro.obs.context import (capture_context, current_context,
+                               new_request_id, new_trace_id,
+                               request_scope, reset_ids, use_context)
+from repro.obs.flight import (FlightRecord, FlightRecorder,
+                              format_flight_table)
+from repro.obs.summary import (format_request_summary, request_groups,
+                               span_tree, summarize_trace)
+from repro.serve import PredictorService
+
+A100 = get_device("A100")
+
+
+@pytest.fixture()
+def enabled():
+    reset_ids()
+    with obs.observed() as (tracer, registry):
+        yield tracer, registry
+
+
+def _model(seed: int = 7) -> DNNOccu:
+    return DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=seed)
+
+
+def _graph(name: str = "lenet", batch: int = 8):
+    return build_model(name, ModelConfig(batch_size=batch))
+
+
+# --------------------------------------------------------------------- #
+# SpanContext / request_scope
+# --------------------------------------------------------------------- #
+
+class TestContext:
+    def test_ids_deterministic_after_reset(self):
+        reset_ids()
+        assert new_trace_id() == "trace-000001"
+        assert new_trace_id() == "trace-000002"
+        assert new_request_id() == "req-000001"
+        reset_ids(5)
+        assert new_trace_id() == "trace-000005"
+
+    def test_no_ambient_context_by_default(self):
+        assert current_context() is None
+        assert capture_context() is None
+
+    def test_scope_mints_and_restores(self):
+        reset_ids()
+        with request_scope() as ctx:
+            assert ctx.trace_id == "trace-000001"
+            assert ctx.request_id == "req-000001"
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_nested_scope_inherits_trace_id(self):
+        reset_ids()
+        with request_scope() as outer:
+            with request_scope() as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.request_id != outer.request_id
+            assert current_context() is outer
+
+    def test_explicit_ids_win(self):
+        with request_scope(trace_id="trace-X", request_id="req-Y") as ctx:
+            assert (ctx.trace_id, ctx.request_id) == ("trace-X", "req-Y")
+
+    def test_capture_without_tracer_keeps_ids(self):
+        with request_scope() as ctx:
+            snap = capture_context()
+        assert snap.trace_id == ctx.trace_id
+        assert snap.request_id == ctx.request_id
+        assert snap.parent_span_id is None
+
+    def test_capture_records_open_span(self, enabled):
+        with request_scope():
+            with obs.span("root") as sp:
+                snap = capture_context()
+                assert snap.parent_span_id == sp.span_id
+
+    def test_use_context_reattaches_and_restores(self):
+        with request_scope() as ctx:
+            snap = capture_context()
+        assert current_context() is None
+        with use_context(snap):
+            assert current_context() is snap
+        assert current_context() is None
+
+
+# --------------------------------------------------------------------- #
+# Cross-thread span linkage
+# --------------------------------------------------------------------- #
+
+class TestCrossThreadLinkage:
+    def test_far_side_span_parents_to_captured(self, enabled):
+        tracer, _ = enabled
+        with request_scope() as ctx:
+            with obs.span("caller.root"):
+                snap = capture_context()
+
+                def far_side():
+                    with use_context(snap):
+                        with obs.span("dispatcher.work"):
+                            pass
+
+                t = threading.Thread(target=far_side)
+                t.start()
+                t.join()
+        recs = {r.name: r for r in tracer.events}
+        root, work = recs["caller.root"], recs["dispatcher.work"]
+        assert work.trace_id == ctx.trace_id == root.trace_id
+        assert work.request_id == ctx.request_id
+        assert work.parent_id == root.span_id
+        assert work.tid != root.tid  # genuinely another thread
+
+    def test_context_free_span_carries_no_ids(self, enabled):
+        tracer, _ = enabled
+        with obs.span("bare"):
+            pass
+        (rec,) = tracer.events
+        assert rec.trace_id is None and rec.request_id is None
+
+    def test_thread_local_stack_beats_captured_parent(self, enabled):
+        # A span nested on the far side parents to the far side's open
+        # span, not to the captured parent — depth stays local.
+        tracer, _ = enabled
+        with request_scope():
+            with obs.span("near"):
+                snap = capture_context()
+        with use_context(snap):
+            with obs.span("far.outer"):
+                with obs.span("far.inner"):
+                    pass
+        recs = {r.name: r for r in tracer.events}
+        assert recs["far.outer"].parent_id == recs["near"].span_id
+        assert recs["far.inner"].parent_id == recs["far.outer"].span_id
+
+
+# --------------------------------------------------------------------- #
+# Chrome round-trip + request grouping
+# --------------------------------------------------------------------- #
+
+class TestChromeRoundTrip:
+    def _traced_serve(self, tracer, registry, n_graphs: int = 3):
+        model = _model()
+        names = ("lenet", "alexnet", "rnn")
+        with PredictorService(model, A100) as svc:
+            for name in names[:n_graphs]:
+                svc.predict(_graph(name))
+            svc.predict(_graph(names[0]))  # result-cache hit
+            flight = svc.flight.to_dicts()
+        return json.loads(obs.export_chrome_trace(
+            tracer, registry, flight=flight))
+
+    def test_request_args_survive_export_and_load(self, enabled,
+                                                  tmp_path):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(trace))
+        loaded = obs.load_trace_file(str(path))
+        groups = request_groups(loaded)
+        assert len(groups) == 4
+        for rid, events in groups.items():
+            assert rid.startswith("req-")
+            args = events[0]["args"]
+            assert args["trace_id"].startswith("trace-")
+            assert isinstance(args["span_id"], int)
+
+    def test_every_request_group_is_connected(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        groups = request_groups(trace)
+        assert groups  # sanity: requests were traced at all
+        for events in groups.values():
+            tree = span_tree(events)
+            assert tree["connected"], events
+
+    def test_queue_path_spans_cross_threads_in_one_tree(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        groups = request_groups(trace)
+        queue_groups = [evs for evs in groups.values() if len(evs) > 1]
+        assert queue_groups  # cold requests took the queue path
+        for events in queue_groups:
+            names = {e["name"] for e in events}
+            assert "serve.request" in names
+            assert "serve.resolve" in names
+            tids = {e["tid"] for e in events}
+            assert len(tids) == 2  # caller + dispatcher lanes
+            assert span_tree(events)["connected"]
+
+    def test_cache_hit_is_single_span_group(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        groups = request_groups(trace)
+        singles = [evs for evs in groups.values() if len(evs) == 1]
+        assert singles
+        assert singles[-1][0]["name"] == "serve.request"
+
+    def test_context_free_events_keep_bare_args(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        flushes = [e for e in trace["traceEvents"]
+                   if e["name"] == "serve.flush"]
+        assert flushes
+        for ev in flushes:
+            assert "request_id" not in ev["args"]
+
+    def test_format_request_summary_renders_trees(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        text = format_request_summary(trace, limit=10)
+        assert "req-000001" in text
+        assert "serve.request" in text
+        assert "DISCONNECTED" not in text
+
+    def test_summarize_trace_counts_requests_and_flight(self, enabled):
+        tracer, registry = enabled
+        trace = self._traced_serve(tracer, registry)
+        text = summarize_trace(trace)
+        assert "requests: 4 traced" in text
+        assert "flight recorder: 4 request records" in text
+        assert "disconnected" not in text
+
+    def test_disconnected_group_is_flagged(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 5, "pid": 1,
+             "tid": 1, "args": {"request_id": "req-1", "trace_id": "t-1",
+                                "span_id": 1}},
+            {"name": "b", "ph": "X", "ts": 1, "dur": 2, "pid": 1,
+             "tid": 2, "args": {"request_id": "req-1", "trace_id": "t-1",
+                                "span_id": 2, "parent_span_id": 99}},
+        ]}
+        (events,) = request_groups(trace).values()
+        tree = span_tree(events)
+        assert not tree["connected"]
+        assert sorted(tree["roots"]) == [1, 2]
+        assert "[DISCONNECTED]" in format_request_summary(trace)
+
+
+# --------------------------------------------------------------------- #
+# Flight recorder
+# --------------------------------------------------------------------- #
+
+def _record(i: int, **over) -> FlightRecord:
+    base = dict(request_id=f"req-{i:06d}", trace_id="-", graph="lenet",
+                device="A100", outcome="served", cache="result_hit",
+                latency_s=1e-4, prediction=0.5)
+    base.update(over)
+    return FlightRecord(**base)
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_total(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record(_record(i))
+        assert len(fr) == 4
+        assert fr.total == 10
+        assert [r.request_id for r in fr.records()] == \
+            [f"req-{i:06d}" for i in range(6, 10)]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_summary_groups_outcomes_and_caches(self):
+        fr = FlightRecorder(capacity=8)
+        fr.record(_record(1))
+        fr.record(_record(2, outcome="shed", cache="miss",
+                          fallback_tier="constant"))
+        fr.record(_record(3, outcome="error", cache="miss",
+                          prediction=None, error="ValueError"))
+        s = fr.summary()
+        assert s["by_outcome"] == {"served": 1, "shed": 1, "error": 1}
+        assert s["by_cache"] == {"result_hit": 1, "miss": 2}
+        assert s["recorded_total"] == s["in_ring"] == 3
+
+    def test_to_dicts_round_trips_through_json(self):
+        fr = FlightRecorder(capacity=2)
+        fr.record(_record(1))
+        loaded = json.loads(json.dumps(fr.to_dicts()))
+        assert loaded[0]["request_id"] == "req-000001"
+        assert loaded[0]["outcome"] == "served"
+
+    def test_format_table_accepts_records_and_dicts(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record(_record(1))
+        fr.record(_record(2, outcome="shed", fallback_tier="constant"))
+        for rows in (fr.records(), fr.to_dicts()):
+            text = format_flight_table(rows)
+            assert "req-000001" in text and "constant" in text
+            assert text.splitlines()[0].split()[:2] == ["request",
+                                                        "graph"]
+
+    def test_format_table_empty(self):
+        assert format_flight_table([]) == "(flight recorder empty)"
+
+    def test_clear_empties_ring_but_not_total(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record(_record(1))
+        fr.clear()
+        assert len(fr) == 0 and fr.total == 1
+
+
+class TestServiceFlightIntegration:
+    def test_untraced_requests_still_recorded_with_placeholder(self):
+        reset_ids()
+        with PredictorService(_model(), A100) as svc:
+            svc.predict(_graph())
+            svc.predict(_graph())
+        recs = svc.flight.records()
+        assert [r.request_id for r in recs] == ["req-000001",
+                                                "req-000002"]
+        assert all(r.trace_id == "-" for r in recs)
+        assert [r.cache for r in recs] == ["miss", "result_hit"]
+        assert recs[0].batch_size == 1 and recs[1].batch_size == 0
+        assert all(r.latency_s > 0 for r in recs)
+
+    def test_flight_capacity_zero_disables_recording(self):
+        with PredictorService(_model(), A100, flight_capacity=0) as svc:
+            svc.predict(_graph())
+            assert svc.flight is None
+            assert "flight" not in svc.stats()
+
+    def test_traced_records_carry_real_trace_ids(self, enabled):
+        with PredictorService(_model(), A100) as svc:
+            svc.predict(_graph())
+        (rec,) = svc.flight.records()
+        assert rec.trace_id == "trace-000001"
+        assert rec.request_id == "req-000001"
+
+    def test_stats_exposes_flight_summary(self):
+        with PredictorService(_model(), A100) as svc:
+            svc.predict(_graph())
+            stats = svc.stats()
+        assert stats["flight"]["recorded_total"] == 1
+        assert stats["flight"]["by_outcome"] == {"served": 1}
+
+    def test_shed_requests_recorded_with_tier(self):
+        reset_ids()
+        graphs = [_graph(n, b) for n in ("lenet", "alexnet")
+                  for b in (2, 4, 8)]
+        with PredictorService(_model(), A100, max_batch_size=2,
+                              deadline_s=60.0,
+                              max_queue_depth=2) as svc:
+            svc.batcher.pause()
+            tickets = [svc.predict_async(g) for g in graphs]
+            svc.batcher.resume()
+            for t in tickets:
+                t.result()
+        shed = [r for r in svc.flight.records() if r.outcome == "shed"]
+        assert len(shed) == len(graphs) - 2
+        assert all(r.fallback_tier == "constant" for r in shed)

@@ -1,0 +1,337 @@
+"""Prediction-quality telemetry and the chaos-serve acceptance run.
+
+The QualityMonitor closes the correctness loop online: deterministic
+sampling of served predictions, background re-labeling against a ground
+truth, rolling MAPE drift score with a threshold alarm.  The chaos test
+is the PR's acceptance gate: a serve run with injected dispatch faults
+and queue-full sheds (with a scheduler chaos simulation alongside) must
+export a Chrome trace in which every traced request still renders as a
+single connected span tree."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core import DNNOccu, DNNOccuConfig
+from repro.gpu import get_device, profile_graph
+from repro.models import ModelConfig, build_model
+from repro.obs.context import reset_ids
+from repro.obs.summary import request_groups, span_tree
+from repro.resilience import FaultConfig, FaultInjector
+from repro.sched import OccuPacking, generate_workload, simulate
+from repro.serve import PredictorService, QualityMonitor, simulator_labeler
+
+A100 = get_device("A100")
+
+
+def _model(seed: int = 7) -> DNNOccu:
+    return DNNOccu(DNNOccuConfig(hidden=16, num_heads=2), seed=seed)
+
+
+def _graph(name: str = "lenet", batch: int = 8):
+    return build_model(name, ModelConfig(batch_size=batch))
+
+
+# --------------------------------------------------------------------- #
+# QualityMonitor unit behaviour (fake labelers: no simulator in the loop)
+# --------------------------------------------------------------------- #
+
+class TestQualityMonitor:
+    def test_sampling_cadence_is_deterministic(self):
+        with QualityMonitor(labeler=lambda g, d: 0.5,
+                            sample_every=4) as qm:
+            hits = [qm.offer("g", "d", 0.5) for _ in range(9)]
+            assert qm.flush()
+        # offers 1, 5, 9 sampled (counted from the first)
+        assert hits == [True, False, False, False] * 2 + [True]
+        stats = qm.stats()
+        assert stats["offered"] == 9
+        assert stats["sampled"] == stats["labeled"] == 3
+
+    def test_mape_and_residuals_exact(self):
+        with QualityMonitor(labeler=lambda g, d: 0.5,
+                            sample_every=1) as qm:
+            qm.offer("g", "d", 0.6)   # ape 0.2, residual +0.1
+            qm.offer("g", "d", 0.4)   # ape 0.2, residual -0.1
+            assert qm.flush()
+            stats = qm.stats()
+        assert stats["mape"] == pytest.approx(0.2)
+        assert stats["mean_residual"] == pytest.approx(0.0)
+        assert stats["max_abs_residual"] == pytest.approx(0.1)
+        assert qm.drift_score() == pytest.approx(0.2)
+
+    def test_drift_alarm_after_min_samples(self):
+        with obs.observed() as (_t, registry):
+            with QualityMonitor(labeler=lambda g, d: 0.5,
+                                sample_every=1, drift_threshold=0.15,
+                                min_samples=3) as qm:
+                for _ in range(5):
+                    qm.offer("g", "d", 0.9)  # ape = 0.8 >> threshold
+                assert qm.flush()
+                stats = qm.stats()
+            counts = {m.name: m.value for m in registry
+                      if m.kind == "counter"}
+        # alarms only once the window holds min_samples labels
+        assert stats["alarms"] == 3
+        assert counts["serve_quality_drift_alarms_total"] == 3
+        assert counts["serve_quality_samples_total"] == 5
+
+    def test_no_alarm_below_threshold(self):
+        with QualityMonitor(labeler=lambda g, d: 0.5, sample_every=1,
+                            drift_threshold=0.15, min_samples=1) as qm:
+            for _ in range(5):
+                qm.offer("g", "d", 0.52)  # ape 0.04
+            assert qm.flush()
+            assert qm.stats()["alarms"] == 0
+
+    def test_calibration_bins_track_pred_vs_actual(self):
+        with QualityMonitor(labeler=lambda g, d: 0.4, sample_every=1,
+                            calibration_bins=10) as qm:
+            qm.offer("g", "d", 0.35)
+            qm.offer("g", "d", 0.38)
+            qm.offer("g", "d", 0.95)
+            assert qm.flush()
+            cal = qm.calibration()
+        assert len(cal) == 10
+        bin3 = cal[3]  # [0.3, 0.4)
+        assert bin3["count"] == 2
+        assert bin3["mean_predicted"] == pytest.approx(0.365)
+        assert bin3["mean_actual"] == pytest.approx(0.4)
+        assert cal[9]["count"] == 1
+        assert cal[0]["count"] == 0 and "mean_predicted" not in cal[0]
+
+    def test_queue_overflow_drops_instead_of_blocking(self):
+        release = threading.Event()
+
+        def slow_labeler(graph, device):
+            release.wait(5.0)
+            return 0.5
+
+        with QualityMonitor(labeler=slow_labeler, sample_every=1,
+                            queue_depth=1) as qm:
+            for _ in range(6):
+                qm.offer("g", "d", 0.5)  # worker wedged on the first
+            release.set()
+            assert qm.flush()
+            stats = qm.stats()
+        assert stats["dropped"] > 0
+        assert stats["labeled"] == stats["sampled"] - stats["dropped"]
+
+    def test_labeler_failure_counts_and_continues(self):
+        calls = []
+
+        def flaky(graph, device):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return 0.5
+
+        with QualityMonitor(labeler=flaky, sample_every=1) as qm:
+            qm.offer("g", "d", 0.5)
+            qm.offer("g", "d", 0.5)
+            assert qm.flush()
+            stats = qm.stats()
+        assert stats["labeled"] == 2  # failure consumed, not wedged
+        assert stats["mape"] == pytest.approx(0.0)
+
+    def test_drift_score_nan_before_any_label(self):
+        with QualityMonitor(labeler=lambda g, d: 0.5) as qm:
+            assert math.isnan(qm.drift_score())
+            assert math.isnan(qm.stats()["mape"])
+
+    def test_invalid_knobs_rejected(self):
+        for kw in (dict(sample_every=0), dict(window=0),
+                   dict(calibration_bins=0)):
+            with pytest.raises(ValueError):
+                QualityMonitor(labeler=lambda g, d: 0.5, **kw)
+
+    def test_offer_after_close_is_dropped(self):
+        qm = QualityMonitor(labeler=lambda g, d: 0.5, sample_every=1)
+        qm.close()
+        assert qm.offer("g", "d", 0.5) is False
+        assert qm.stats()["dropped"] == 1
+
+    def test_simulator_labeler_is_the_training_oracle(self):
+        graph = _graph()
+        assert simulator_labeler(graph, A100) == \
+            pytest.approx(profile_graph(graph, A100).occupancy)
+
+
+# --------------------------------------------------------------------- #
+# Service integration
+# --------------------------------------------------------------------- #
+
+class TestServiceQualityIntegration:
+    def test_every_served_prediction_offered(self):
+        with QualityMonitor(labeler=simulator_labeler,
+                            sample_every=1) as qm:
+            with PredictorService(_model(), A100, quality=qm) as svc:
+                for name in ("lenet", "alexnet"):
+                    svc.predict(_graph(name))
+                svc.predict(_graph("lenet"))  # cache hit still offered
+                assert qm.flush()
+                stats = svc.stats()
+        assert stats["quality"]["offered"] == 3
+        assert stats["quality"]["labeled"] == 3
+        # untrained-model MAPE is large but must be finite and real
+        assert math.isfinite(stats["quality"]["mape"])
+        assert stats["quality"]["mape"] > 0.0
+
+    def test_predict_many_offers_bulk_results(self):
+        graphs = [_graph(n, b) for n in ("lenet", "rnn")
+                  for b in (4, 8)]
+        with QualityMonitor(labeler=lambda g, d: 0.5,
+                            sample_every=1) as qm:
+            with PredictorService(_model(), A100, quality=qm) as svc:
+                svc.predict_many(graphs)
+                assert qm.flush()
+        assert qm.stats()["offered"] == len(graphs)
+
+    def test_drift_alarm_fires_for_biased_service(self):
+        # A labeler that contradicts the model by a wide margin: the
+        # rolling MAPE must cross the threshold and alarm.
+        with obs.observed() as (_t, registry):
+            with QualityMonitor(labeler=lambda g, d: 1e-6,
+                                sample_every=1, drift_threshold=0.5,
+                                min_samples=2) as qm:
+                with PredictorService(_model(), A100,
+                                      quality=qm) as svc:
+                    for name in ("lenet", "alexnet", "rnn"):
+                        svc.predict(_graph(name))
+                    assert qm.flush()
+            counts = {m.name: m.value for m in registry
+                      if m.kind == "counter"}
+        assert qm.stats()["alarms"] >= 1
+        assert counts["serve_quality_drift_alarms_total"] >= 1
+
+    def test_shed_predictions_are_offered_too(self):
+        graphs = [_graph(n, b) for n in ("lenet", "alexnet")
+                  for b in (2, 4, 8)]
+        with QualityMonitor(labeler=lambda g, d: 1.0,
+                            sample_every=1) as qm:
+            with PredictorService(_model(), A100, quality=qm,
+                                  max_batch_size=2, deadline_s=60.0,
+                                  max_queue_depth=2) as svc:
+                svc.batcher.pause()
+                tickets = [svc.predict_async(g) for g in graphs]
+                svc.batcher.resume()
+                for t in tickets:
+                    t.result()
+                assert qm.flush()
+        # every request (queued or shed) produced a value and an offer
+        assert qm.stats()["offered"] == len(graphs)
+
+
+# --------------------------------------------------------------------- #
+# Chaos acceptance: faults + sheds, every request tree still connected
+# --------------------------------------------------------------------- #
+
+class _FlakyModel:
+    """Delegates to a real model, failing every ``fail_every``-th forward."""
+
+    def __init__(self, inner, fail_every: int = 4):
+        self.inner = inner
+        self.fail_every = fail_every
+        self.calls = 0
+
+    def _tick(self) -> None:
+        self.calls += 1
+        if self.calls % self.fail_every == 0:
+            raise RuntimeError("injected forward fault")
+
+    def predict(self, feats):
+        self._tick()
+        return self.inner.predict(feats)
+
+    def predict_batch(self, feats_list):
+        self._tick()
+        return self.inner.predict_batch(feats_list)
+
+
+class TestChaosAcceptance:
+    def test_chaos_serve_trace_stays_connected(self, tmp_path):
+        reset_ids()
+        model = _FlakyModel(_model(), fail_every=3)
+        graphs = [_graph(n, b)
+                  for n in ("lenet", "alexnet", "rnn", "lstm")
+                  for b in (2, 4, 8)]
+        with obs.observed() as (tracer, registry):
+            # A scheduler chaos run shares the observed scope: the
+            # FaultInjector is live while serve requests are traced.
+            jobs = generate_workload(("lenet", "alexnet"), A100, 4,
+                                     seed=5, iterations_range=(50, 100))
+            simulate(jobs, 2, OccuPacking(),
+                     faults=FaultInjector(FaultConfig(crash_prob=0.3), 5))
+            with PredictorService(model, A100, max_batch_size=2,
+                                  deadline_s=60.0,
+                                  max_queue_depth=2) as svc:
+                svc.batcher.pause()  # force queue-full sheds
+                tickets = [svc.predict_async(g) for g in graphs]
+                svc.batcher.resume()
+                errors = 0
+                for t in tickets:
+                    try:
+                        t.result(timeout=10.0)
+                    except RuntimeError:
+                        errors += 1
+                # paired phase: each pair fills a batch and flushes
+                # immediately, walking the flaky model into a failing
+                # forward without waiting out the long deadline
+                for b1, b2 in ((16, 32), (64, 128)):
+                    pair = [svc.predict_async(_graph("vgg-11", b1)),
+                            svc.predict_async(_graph("vgg-11", b2))]
+                    for t in pair:
+                        try:
+                            t.result(timeout=10.0)
+                        except RuntimeError:
+                            errors += 1
+                flight = svc.flight.to_dicts()
+            payload = obs.export_chrome_trace(tracer, registry,
+                                              flight=flight)
+
+        path = tmp_path / "chaos.json"
+        path.write_text(payload)
+        trace = obs.load_trace_file(str(path))
+
+        outcomes = {rec["outcome"] for rec in flight}
+        assert outcomes == {"served", "shed", "error"}
+        assert errors > 0  # injected faults actually failed tickets
+        counts = {m.name: m.value for m in registry
+                  if m.kind == "counter"}
+        assert counts["serve_dispatch_errors_total"] == errors
+        assert counts["serve_shed_total"] == len(graphs) - 2
+
+        groups = request_groups(trace)
+        assert len(groups) >= len(graphs)  # serve + any sched requests
+        disconnected = [rid for rid, evs in groups.items()
+                        if not span_tree(evs)["connected"]]
+        assert disconnected == []
+
+        # shed and dispatched requests alike keep their span shapes
+        names_by_rid = {rid: {e["name"] for e in evs}
+                        for rid, evs in groups.items()}
+        assert any("serve.fallback" in names
+                   for names in names_by_rid.values())
+        assert any("serve.resolve" in names
+                   for names in names_by_rid.values())
+
+    def test_sched_simulate_requests_share_one_trace(self):
+        reset_ids()
+        with obs.observed() as (tracer, _registry):
+            with PredictorService(_model(), A100) as svc:
+                jobs = generate_workload(("lenet", "alexnet"), A100, 4,
+                                         seed=5, predictor=svc,
+                                         iterations_range=(50, 100))
+                simulate(jobs, 2, OccuPacking())
+            trace = json.loads(obs.export_chrome_trace(tracer))
+        sim_events = [e for e in trace["traceEvents"]
+                      if e["name"] == "sched.simulate"]
+        assert len(sim_events) == 1
+        # the simulate wrapper opened a scope, so its request ids minted
+        # under one trace id
+        assert sim_events[0]["args"]["trace_id"].startswith("trace-")
