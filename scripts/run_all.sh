@@ -16,12 +16,15 @@ pip install -e . 2>/dev/null || python setup.py develop
 echo "== syntax check (fail fast on any unparseable module) =="
 python -m compileall -q src
 
-echo "== static analysis: self-lint + every zoo model + registries =="
-python -m repro lint --self
+echo "== static analysis: self-lint + concurrency + zoo + registries =="
+python -m repro lint --self --concurrency
 python -m repro lint --zoo --registries
 
 echo "== unit / integration / property tests =="
 python -m pytest tests/ -q | tee test_output.txt
+
+echo "== lock sanitizer: suite under LockWatch (zero inversions gate) =="
+REPRO_LOCKWATCH=1 python -m pytest tests/ -q
 
 echo "== observability smoke: trace round-trip =="
 OBS_TRACE="$(mktemp /tmp/repro_trace.XXXXXX.json)"

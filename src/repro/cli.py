@@ -188,9 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "lowering / feature encoder)")
     p.add_argument("--self", dest="self_lint", action="store_true",
                    help="AST self-lint over the source tree")
+    p.add_argument("--concurrency", action="store_true",
+                   help="whole-program concurrency passes (C001-C005): "
+                        "thread roles, shared-state lock discipline, "
+                        "lock ordering")
     p.add_argument("--path", action="append", metavar="PATH",
-                   help="file or directory for --self (repeatable; "
-                        "default: the installed repro package)")
+                   help="file or directory for --self/--concurrency "
+                        "(repeatable; default: the repro package plus "
+                        "the repo's scripts/ and benchmarks/ trees)")
     p.add_argument("--batch", type=int, default=32)
     p.add_argument("--channels", type=int, default=3)
     p.add_argument("--seq-len", type=int, default=128)
@@ -425,13 +430,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
     from .graph import ComputationGraph
-    from .lint import LintReport, lint_graph, lint_model, lint_paths, \
-        lint_registries, lint_zoo
+    from .lint import (LintReport, default_source_roots,
+                       lint_concurrency, lint_graph, lint_model,
+                       lint_paths, lint_registries, lint_zoo)
 
     if not (args.model or args.zoo or args.graph or args.registries
-            or args.self_lint):
+            or args.self_lint or args.concurrency):
         print("error: nothing to lint; pass --model/--zoo/--graph/"
-              "--registries/--self", file=sys.stderr)
+              "--registries/--self/--concurrency", file=sys.stderr)
         return 2
 
     device = get_device(args.device)
@@ -451,8 +457,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.registries:
         report.merge(lint_registries())
     if args.self_lint:
-        default_root = pathlib.Path(__file__).resolve().parent
-        report.merge(lint_paths(args.path or [str(default_root)]))
+        report.merge(lint_paths(args.path or default_source_roots()))
+    if args.concurrency:
+        report.merge(lint_concurrency(args.path or None))
 
     if args.format == "json":
         print(report.to_json())

@@ -11,7 +11,12 @@ on a malformed graph:
   ComputationGraph` without executing it;
 * registry passes (``R0xx``) assert cross-layer operator coverage;
 * source passes (``S0xx``) enforce repo conventions over ``src/repro``
-  via the stdlib AST;
+  plus the ``scripts/`` and ``benchmarks/`` entry-point trees via the
+  stdlib AST;
+* program passes (``C0xx``) run a whole-program concurrency analysis —
+  thread roles, shared-state lock discipline, lock-order cycles — over
+  the same file set, paired with the :mod:`repro.lint.sanitizer`
+  runtime lock sanitizer;
 * pre-flight gates (``F0xx``) fail fast in the profiler and trainer.
 
 Entry points: the ``repro lint`` CLI subcommand, the :func:`lint_graph` /
@@ -24,25 +29,34 @@ codes are documented in ``docs/static_analysis.md``.
 from __future__ import annotations
 
 from .diagnostics import CODE_TABLE, Diagnostic, LintReport, Severity
-from .manager import (GraphContext, LintPass, PassManager, SourceContext,
-                      default_manager)
+from .manager import (GraphContext, LintPass, PassManager,
+                      ProgramContext, SourceContext, default_manager)
 from .graph_passes import GRAPH_PASSES
 from .registry_passes import REGISTRY_PASSES
 from .source_passes import SOURCE_PASSES
-from .runner import (LintError, lint_graph, lint_model, lint_paths,
-                     lint_registries, lint_zoo, preflight_features,
-                     preflight_graph)
+from .concurrency import PROGRAM_PASSES, ConcurrencyPass
+from .runner import (LintError, default_source_roots, lint_concurrency,
+                     lint_graph, lint_model, lint_paths, lint_registries,
+                     lint_zoo, preflight_features, preflight_graph,
+                     static_acquisition_graph)
+from .sanitizer import (LockWatch, current_watch, install_watch,
+                        new_condition, new_lock, new_rlock,
+                        uninstall_watch)
 from .schema import HPARAM_SCHEMAS, check_attrs
 from .shapes import SHAPE_RULES, ShapeRuleViolation, infer_output_shape
 
 __all__ = [
     "Diagnostic", "Severity", "LintReport", "CODE_TABLE",
     "LintPass", "PassManager", "GraphContext", "SourceContext",
-    "default_manager",
-    "GRAPH_PASSES", "REGISTRY_PASSES", "SOURCE_PASSES",
+    "ProgramContext", "default_manager",
+    "GRAPH_PASSES", "REGISTRY_PASSES", "SOURCE_PASSES", "PROGRAM_PASSES",
+    "ConcurrencyPass",
     "LintError", "lint_graph", "lint_model", "lint_zoo",
-    "lint_registries", "lint_paths", "preflight_graph",
-    "preflight_features",
+    "lint_registries", "lint_paths", "lint_concurrency",
+    "default_source_roots", "static_acquisition_graph",
+    "preflight_graph", "preflight_features",
+    "LockWatch", "current_watch", "install_watch", "uninstall_watch",
+    "new_lock", "new_rlock", "new_condition",
     "HPARAM_SCHEMAS", "check_attrs",
     "SHAPE_RULES", "ShapeRuleViolation", "infer_output_shape",
 ]

@@ -80,6 +80,15 @@ CODE_TABLE: dict[str, str] = {
     "S006": "direct model predict call on the online path (use "
             "PredictorService)",
     "S007": "metric name not declared in repro.obs.names.METRIC_NAMES",
+    # whole-program concurrency passes (thread roles + lock discipline)
+    "C001": "unguarded shared mutable attribute: written and read across "
+            "thread roles with no lock at any access site",
+    "C002": "inconsistently guarded shared attribute: locked at some "
+            "access sites, bare (or under a different lock) at others",
+    "C003": "static lock-order cycle in the acquisition graph",
+    "C004": "blocking call (Condition.wait, queue.get, Thread.join, I/O) "
+            "while holding another lock",
+    "C005": "daemon thread with no close()/join() shutdown path",
     # feature/label pre-flight (trainer fail-fast)
     "F001": "non-finite value in an encoded feature matrix",
     "F002": "occupancy label outside [0, 1]",

@@ -6,7 +6,12 @@ Passes come in three families, each with its own context type:
   (plus an optional device for feature encoding) without executing it;
 * ``registry`` passes examine the cross-layer operator registries
   (builder emitters, FLOPs rules, kernel lowerings, encoder slots);
-* ``source`` passes examine parsed Python source files (AST).
+* ``source`` passes examine parsed Python source files (AST), one file
+  at a time;
+* ``program`` passes examine *all* parsed files of one lint run at once
+  (whole-program analyses such as the concurrency pass, which must see
+  a ``threading.Thread`` entry point in one class and the attribute it
+  shares in another).
 
 A :class:`PassManager` owns an ordered pass list per family, runs the
 appropriate family for each lint entry point, and counts every emitted
@@ -24,8 +29,8 @@ from ..graph import ComputationGraph
 from ..obs.metrics import counter
 from .diagnostics import Diagnostic, LintReport, Severity
 
-__all__ = ["LintPass", "GraphContext", "SourceContext", "PassManager",
-           "default_manager"]
+__all__ = ["LintPass", "GraphContext", "SourceContext", "ProgramContext",
+           "PassManager", "default_manager"]
 
 
 @dataclass
@@ -43,6 +48,13 @@ class SourceContext:
     path: str
     source: str
     tree: ast.AST
+
+
+@dataclass
+class ProgramContext:
+    """What a program pass sees: every parsed file of the lint run."""
+
+    files: "list[SourceContext]"
 
 
 class LintPass:
@@ -86,7 +98,8 @@ class PassManager:
             self.register(p)
 
     def register(self, lint_pass: LintPass) -> LintPass:
-        if lint_pass.family not in ("graph", "registry", "source"):
+        if lint_pass.family not in ("graph", "registry", "source",
+                                    "program"):
             raise ValueError(
                 f"pass {lint_pass.name!r} has unknown family "
                 f"{lint_pass.family!r}")
@@ -145,11 +158,46 @@ class PassManager:
             report.extend(diags)
         return report
 
+    def run_program(self, files) -> LintReport:
+        """Run every program pass over a set of files at once.
+
+        ``files`` is an iterable of ``(path, source)`` pairs.  A file
+        that fails to parse gets an ``S000`` diagnostic and is excluded
+        from the program context (the whole-program analysis still runs
+        over the files that do parse).
+        """
+        report = LintReport()
+        parsed: list[SourceContext] = []
+        for path, source in files:
+            report.targets_checked += 1
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                diags = [Diagnostic(
+                    code="S000", severity=Severity.ERROR,
+                    message=f"file fails to parse: {exc.msg}",
+                    target=path, pass_name="parse", file=path,
+                    line=exc.lineno,
+                    fix_hint="fix the syntax error before linting")]
+                _count_diagnostics(diags)
+                report.extend(diags)
+                continue
+            parsed.append(SourceContext(path=path, source=source,
+                                        tree=tree))
+        ctx = ProgramContext(files=parsed)
+        for p in self.family("program"):
+            diags = p.run(ctx)
+            _count_diagnostics(diags)
+            report.extend(diags)
+        return report
+
 
 def default_manager() -> PassManager:
     """A :class:`PassManager` loaded with every built-in pass."""
+    from .concurrency import PROGRAM_PASSES
     from .graph_passes import GRAPH_PASSES
     from .registry_passes import REGISTRY_PASSES
     from .source_passes import SOURCE_PASSES
     return PassManager([factory() for factory in
-                        (*GRAPH_PASSES, *REGISTRY_PASSES, *SOURCE_PASSES)])
+                        (*GRAPH_PASSES, *REGISTRY_PASSES, *SOURCE_PASSES,
+                         *PROGRAM_PASSES)])

@@ -7,6 +7,13 @@ through these functions rather than instantiating passes directly:
   diagnostics for one graph, one zoo model, or every registered model;
 * :func:`lint_registries` — cross-registry coverage;
 * :func:`lint_paths` — AST self-lint over source files/directories;
+* :func:`lint_concurrency` — the whole-program concurrency passes
+  (C001–C005) over a file set analyzed *together*;
+* :func:`default_source_roots` — what ``repro lint --self`` walks: the
+  ``repro`` package plus the repository's ``scripts/`` and
+  ``benchmarks/`` entry-point trees when present;
+* :func:`static_acquisition_graph` — the C003 lock-order edge set, for
+  the runtime sanitizer's cross-check;
 * :func:`preflight_graph` — the profiler's gate: raise :class:`LintError`
   when the cheap structural passes find ERROR diagnostics;
 * :func:`preflight_features` — the trainer's gate: raise on non-finite
@@ -31,8 +38,9 @@ from .diagnostics import Diagnostic, LintReport, Severity
 from .manager import PassManager, default_manager
 
 __all__ = ["LintError", "lint_graph", "lint_model", "lint_zoo",
-           "lint_registries", "lint_paths", "preflight_graph",
-           "preflight_features"]
+           "lint_registries", "lint_paths", "lint_concurrency",
+           "default_source_roots", "static_acquisition_graph",
+           "preflight_graph", "preflight_features"]
 
 _log = get_logger("lint")
 
@@ -107,6 +115,62 @@ def lint_paths(paths: Iterable[str],
         report.merge(mgr.run_source(str(path),
                                     path.read_text(encoding="utf-8")))
     return report
+
+
+def default_source_roots() -> list[str]:
+    """What the self-lint walks: the package *and* entry-point trees.
+
+    ``src/repro`` alone misses the concurrency (and convention) bugs
+    that live in ``scripts/`` and ``benchmarks/``, so both are included
+    whenever the package sits inside a repository checkout that has
+    them (an installed wheel only lints itself).
+    """
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    roots = [str(package_dir)]
+    repo_root = package_dir.parent.parent
+    for extra in ("scripts", "benchmarks"):
+        candidate = repo_root / extra
+        if candidate.is_dir():
+            roots.append(str(candidate))
+    return roots
+
+
+def lint_concurrency(paths: "Iterable[str] | None" = None,
+                     manager: "PassManager | None" = None) -> LintReport:
+    """Run the whole-program concurrency passes over a file set.
+
+    Unlike :func:`lint_paths`, every file is parsed first and analyzed
+    *together* — thread roles cross class and file boundaries.  Defaults
+    to :func:`default_source_roots`.
+    """
+    mgr = _manager(manager)
+    files = [(str(p), p.read_text(encoding="utf-8"))
+             for p in _iter_py_files(paths if paths is not None
+                                     else default_source_roots())]
+    return mgr.run_program(files)
+
+
+def static_acquisition_graph(
+        paths: "Iterable[str] | None" = None) -> set:
+    """The static C003 lock-order edges as ``(held, acquired)`` pairs of
+    qualified ``Class.attr`` names — the reference the runtime
+    sanitizer's :meth:`~repro.lint.sanitizer.LockWatch.cross_check`
+    compares observed orders against."""
+    import ast
+
+    from .concurrency import build_program_model
+    from .manager import ProgramContext, SourceContext
+    contexts = []
+    for p in _iter_py_files(paths if paths is not None
+                            else default_source_roots()):
+        source = p.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(p))
+        except SyntaxError:
+            continue
+        contexts.append(SourceContext(path=str(p), source=source,
+                                      tree=tree))
+    return build_program_model(ProgramContext(files=contexts)).edge_set()
 
 
 def _reject(gate: str, target: str,

@@ -118,6 +118,11 @@ class DunderAllPass(LintPass):
     def run(self, ctx: SourceContext) -> list[Diagnostic]:
         if ctx.path.endswith("__main__.py"):
             return []
+        # scripts/ and benchmarks/ hold entry points and pytest files,
+        # not importable API — same rationale as the __main__ exemption
+        parts = ctx.path.replace("\\", "/").split("/")
+        if "scripts" in parts or "benchmarks" in parts:
+            return []
         for node in ctx.tree.body:
             targets = []
             if isinstance(node, ast.Assign):

@@ -16,6 +16,11 @@ so the tax is itself a gated benchmark:
   ``repro slo --check`` (every default objective met), and a synthetic
   degraded window correctly fails it (burn rate > 1), so the gate
   guards both directions.
+* **lockwatch** — the ``repro.lint.sanitizer`` factories are free when
+  no watch is installed (a factory-made lock within 2% of a raw
+  ``threading.Lock``), and an instrumented serve workload records
+  acquisitions with zero lock-order inversions and no acquisition edges
+  missing from the static C003 graph (see ``docs/concurrency.md``).
 
 Merged into ``repro bench --check`` via
 :func:`repro.perf.bench.run_benchmarks`; standalone via
@@ -188,6 +193,108 @@ def bench_slo(scale: float = 1.0) -> dict:
     }
 
 
+def bench_lockwatch(scale: float = 1.0) -> dict:
+    """Sanitizer contract: free when off, observant and clean when on.
+
+    * **off** — with no watch installed the ``new_lock`` factory returns
+      a plain ``threading.Lock``, so an acquire/release loop through the
+      factory-made lock must stay within 2% of a raw one (interleaved
+      in-pass medians, same methodology as :func:`bench_tracing_overhead`
+      — this guards against the factories ever growing an always-on
+      wrapper).
+    * **on** — a serve workload under an installed ``LockWatch`` must be
+      observed (acquisitions recorded), show zero lock-order inversions,
+      and every observed acquisition edge must appear in the static C003
+      graph (``repro.lint.static_acquisition_graph``).
+    """
+    import gc
+    import threading
+    import time
+
+    from ..lint.runner import static_acquisition_graph
+    from ..lint.sanitizer import (LockWatch, install_watch, new_lock,
+                                  uninstall_watch)
+
+    prior = uninstall_watch()
+    try:
+        plain = threading.Lock()
+        factory = new_lock("bench_lockwatch_off")
+        samples = max(200, int(round(400 * scale)))
+        ops = 200
+        passes = 3
+
+        def timed_pair() -> tuple[float, float]:
+            tb: list[float] = []
+            tf: list[float] = []
+            pc = time.perf_counter
+            gc_was = gc.isenabled()
+            gc.disable()
+            try:
+                for _ in range(samples):
+                    t0 = pc()
+                    for _ in range(ops):
+                        plain.acquire()
+                        plain.release()
+                    t1 = pc()
+                    for _ in range(ops):
+                        factory.acquire()
+                        factory.release()
+                    t2 = pc()
+                    tb.append(t1 - t0)
+                    tf.append(t2 - t1)
+            finally:
+                if gc_was:
+                    gc.enable()
+            tb.sort()
+            tf.sort()
+            return tb[samples // 2], tf[samples // 2]
+
+        baseline_s = off_s = float("inf")
+        off_overhead = float("inf")
+        for _ in range(passes):
+            b, o = timed_pair()
+            if o / b - 1.0 < off_overhead:
+                off_overhead = o / b - 1.0
+                baseline_s, off_s = b, o
+
+        watch = LockWatch()
+        install_watch(watch)
+        try:
+            device = get_device("A100")
+            model = _service_model()
+            graphs = [build_model(n, ModelConfig(batch_size=8))
+                      for n in ("lenet", "alexnet")]
+            requests = max(40, int(round(80 * scale)))
+            with PredictorService(model, device) as svc:
+                for i in range(requests):
+                    svc.predict(graphs[i % len(graphs)])
+                    svc.stats()
+            inversions = watch.inversions()
+            observed_edges = set(watch.edges())
+            acquisitions = sum(watch.acquisitions().values())
+        finally:
+            uninstall_watch()
+        static_edges = static_acquisition_graph()
+    finally:
+        if prior is not None:
+            install_watch(prior)
+
+    return {
+        "samples": samples, "ops_per_sample": ops, "passes": passes,
+        "factory_is_plain_lock": type(factory) is type(plain),
+        "baseline_s": baseline_s,
+        "factory_off_s": off_s,
+        "off_overhead": off_overhead,
+        "overhead_budget": _OVERHEAD_BUDGET,
+        "requests": requests,
+        "acquisitions": acquisitions,
+        "inversions": [sorted(c) for c in inversions],
+        "observed_edges": sorted(map(list, observed_edges)),
+        "novel_edges": sorted(map(list,
+                                  observed_edges - static_edges)),
+    }
+
+
 def run_obs_benchmarks(scale: float = 1.0) -> dict:
     """Run every obs suite; returns the ``BENCH_obs.json`` document."""
     results = {
@@ -200,6 +307,7 @@ def run_obs_benchmarks(scale: float = 1.0) -> dict:
         "tracing_overhead": bench_tracing_overhead(scale),
         "flight": bench_flight(scale),
         "slo": bench_slo(scale),
+        "lockwatch": bench_lockwatch(scale),
     }
     results["gates"] = evaluate_obs_gates(results)
     return results
@@ -210,6 +318,7 @@ def evaluate_obs_gates(results: dict) -> dict:
     overhead = results["tracing_overhead"]
     flight = results["flight"]
     slo = results["slo"]
+    lw = results["lockwatch"]
     return {
         "obs_tracing_off_overhead_2pct":
             overhead["off_overhead"] <= _OVERHEAD_BUDGET,
@@ -217,6 +326,12 @@ def evaluate_obs_gates(results: dict) -> dict:
                                    and flight["complete"]),
         "obs_slo_check": bool(slo["healthy_ok"]
                               and slo["degraded_detected"]),
+        "obs_lockwatch_off_overhead_2pct": bool(
+            lw["factory_is_plain_lock"]
+            and lw["off_overhead"] <= _OVERHEAD_BUDGET),
+        "obs_lockwatch_clean": bool(lw["acquisitions"] > 0
+                                    and not lw["inversions"]
+                                    and not lw["novel_edges"]),
     }
 
 
@@ -237,6 +352,12 @@ def format_obs_summary(results: dict) -> str:
         f"shed-rate {s['degraded_value']:.2f} detected="
         f"{s['degraded_detected']} (burn {s['degraded_burn_rate']:.1f})",
     ]
+    lw = results["lockwatch"]
+    lines.append(
+        f"lockwatch: off overhead {100 * lw['off_overhead']:+.2f}% | "
+        f"{lw['acquisitions']} acquisitions observed, "
+        f"{len(lw['inversions'])} inversions, "
+        f"{len(lw['novel_edges'])} novel edges")
     lines.append("gates   : " + "  ".join(
         f"{k}={'PASS' if v else 'FAIL'}"
         for k, v in results["gates"].items()))

@@ -62,6 +62,9 @@ class FlightRecorder:
 
     def record(self, rec) -> None:
         """Append a :class:`FlightRecord` or a bare 11-field tuple."""
+        # conc: lockfree-ok -- deque.append with maxlen and next() on
+        # itertools.count are single GIL-atomic operations; readers
+        # snapshot via list(self._records) and never see a torn state
         self._records.append(rec)
         self._total = next(self._written)
 

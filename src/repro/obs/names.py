@@ -21,8 +21,14 @@ __all__ = ["METRIC_NAMES", "declared_names", "is_declared", "declare"]
 #: name -> one-line help string.  Keep alphabetized within each block.
 METRIC_NAMES: dict[str, str] = {
     # -- lint ----------------------------------------------------------- #
+    "lint_concurrency_findings_total": "concurrency lint findings, "
+                                       "labeled by code",
     "lint_diagnostics_total": "diagnostics emitted, labeled by code",
     "lint_preflight_failures_total": "graphs rejected by lint preflight",
+    "lockwatch_acquisitions_total": "lock acquisitions seen by the "
+                                    "sanitizer, labeled by lock",
+    "lockwatch_hold_seconds": "lock hold times seen by the sanitizer",
+    "lockwatch_inversions_total": "observed lock-order inversions",
     # -- obs ------------------------------------------------------------ #
     "slo_evaluations_total": "SLO spec evaluations performed",
     "slo_violations_total": "SLO evaluations that breached objective",

@@ -27,6 +27,7 @@ import time
 from collections import deque
 from typing import Callable, Sequence
 
+from ..lint.sanitizer import new_condition
 from ..obs.context import capture_context, use_context
 from ..obs.metrics import counter, gauge, histogram
 from ..obs.tracing import span
@@ -117,7 +118,7 @@ class MicroBatcher:
         self.deadline_s = float(deadline_s)
         self.max_queue_depth = int(max_queue_depth)
 
-        self._cond = threading.Condition()
+        self._cond = new_condition("MicroBatcher._cond")
         self._pending: deque[tuple[object, Ticket]] = deque()
         self._closed = False
         self._paused = False
@@ -156,6 +157,21 @@ class MicroBatcher:
     def depth(self) -> int:
         with self._cond:
             return len(self._pending)
+
+    def stats(self) -> dict:
+        """Dispatch counters, snapshotted under the batcher's condition.
+
+        The counters are written by the dispatcher thread inside
+        ``_collect``'s locked region; cross-thread readers (the
+        service's ``stats()``) must come through here rather than read
+        the attributes bare — the C002 concurrency lint enforces it.
+        """
+        with self._cond:
+            return {
+                "batches_dispatched": self.batches_dispatched,
+                "requests_dispatched": self.requests_dispatched,
+                "flush_reasons": dict(self.flush_reasons),
+            }
 
     # -- test / lifecycle controls -------------------------------------- #
     def pause(self) -> None:

@@ -27,6 +27,7 @@ import threading
 import time
 from collections import deque
 
+from ..lint.sanitizer import new_condition, new_lock
 from ..obs import get_logger
 from ..obs.metrics import counter, gauge, histogram
 
@@ -88,7 +89,7 @@ class QualityMonitor:
         self.drift_threshold = float(drift_threshold)
         self.min_samples = int(min_samples)
 
-        self._lock = threading.Lock()
+        self._lock = new_lock("QualityMonitor._lock")
         self._offered = 0
         self._sampled = 0
         self._dropped = 0
@@ -99,7 +100,7 @@ class QualityMonitor:
         # bin -> [count, sum_predicted, sum_actual]
         self._bins = [[0, 0.0, 0.0] for _ in range(calibration_bins)]
 
-        self._cond = threading.Condition()
+        self._cond = new_condition("QualityMonitor._cond")
         self._pending: deque = deque()
         self._queue_depth = int(queue_depth)
         self._closed = False

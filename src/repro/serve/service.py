@@ -26,7 +26,6 @@ practice ~1e-15; see docs/performance.md).
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 
@@ -34,6 +33,7 @@ import numpy as np
 
 from ..features import GraphFeatures, encode_graph
 from ..gpu import DeviceSpec
+from ..lint.sanitizer import new_lock
 from ..obs import get_logger
 from ..obs.context import request_scope, new_request_seq
 from ..obs.flight import FlightRecorder
@@ -62,7 +62,7 @@ class _LRU:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._data: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = new_lock("_LRU._lock")
 
     def get(self, key):
         with self._lock:
@@ -231,7 +231,7 @@ class PredictorService:
             buckets=_LATENCY_BUCKETS)
         self._shed = 0
         self._requests = 0
-        self._stat_lock = threading.Lock()
+        self._stat_lock = new_lock("PredictorService._stat_lock")
 
     # -- core request paths --------------------------------------------- #
     def predict(self, graph, device: DeviceSpec | None = None) -> float:
@@ -447,16 +447,18 @@ class PredictorService:
         """Snapshot of the service's counters and queue accounting."""
         with self._stat_lock:
             requests, shed = self._requests, self._shed
+        # the batcher counters are written on the dispatcher thread;
+        # MicroBatcher.stats() snapshots them under the batcher's own
+        # condition (reading the attributes bare here raced the
+        # dispatcher — the C002 lint finding this fixed)
         out = {
             "requests": requests,
             "shed": shed,
             "result_cache_entries": len(self.session.results),
             "encoding_cache_entries": len(self.session.encodings),
-            "batches_dispatched": self.batcher.batches_dispatched,
-            "requests_dispatched": self.batcher.requests_dispatched,
-            "flush_reasons": dict(self.batcher.flush_reasons),
             "latency": self.latency_quantiles(),
             "fallback_tiers": self.fallback.counts(),
+            **self.batcher.stats(),
         }
         if self.flight is not None:
             out["flight"] = self.flight.summary()

@@ -26,3 +26,18 @@ def mixed_dataset():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockwatch_inversion_gate():
+    """Under REPRO_LOCKWATCH=1, fail the session on any observed lock-order
+    inversion (see docs/concurrency.md)."""
+    yield
+    from repro.lint.sanitizer import current_watch
+
+    watch = current_watch()
+    if watch is not None:
+        assert watch.inversions() == [], (
+            "LockWatch observed lock-order inversions during the test "
+            f"session: {watch.inversions()}"
+        )

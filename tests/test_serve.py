@@ -195,6 +195,50 @@ class TestMicroBatcher:
             with pytest.raises(ValueError):
                 MicroBatcher(lambda items: items, **kw)
 
+    def test_stats_snapshots_consistent_under_concurrent_dispatch(self):
+        """Regression for the C002 race on the dispatch counters.
+
+        Before `stats()` snapshotted under the batcher's condition, a
+        poller could read `batches_dispatched` after a flush but
+        `flush_reasons` before it, observing a torn state.  Hammer the
+        batcher from several client threads while polling, and require
+        every snapshot to be internally consistent.
+        """
+        graphs = _small_graphs(6)
+        torn: list[dict] = []
+        stop = threading.Event()
+        with PredictorService(_model(), A100, max_batch_size=2,
+                              deadline_s=0.001) as svc:
+            def poller():
+                while not stop.is_set():
+                    snap = svc.batcher.stats()
+                    if (snap["batches_dispatched"]
+                            != sum(snap["flush_reasons"].values())
+                            or snap["requests_dispatched"]
+                            < snap["batches_dispatched"]):
+                        torn.append(snap)
+
+            def client():
+                for _ in range(5):
+                    for g in graphs:
+                        svc.predict(g)
+
+            threads = [threading.Thread(target=poller)] + \
+                [threading.Thread(target=client) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads[1:]:
+                t.join()
+            stop.set()
+            threads[0].join()
+            final = svc.stats()
+        assert torn == []
+        # repeat rounds are result-cache hits, so only the lower bound is
+        # exact: every graph was dispatched at least once
+        assert final["requests_dispatched"] >= len(graphs)
+        assert final["batches_dispatched"] == \
+            sum(final["flush_reasons"].values())
+
 
 # --------------------------------------------------------------------- #
 # overload shedding into the resilience chain
