@@ -46,6 +46,9 @@ echo "== resilience smoke: chaos sweep must finish with zero lost jobs =="
 python -m repro chaos --gpus 2 --jobs 6 --fault-rates 0.0 0.25 \
     --gpu-mtbf 200 --checkpoint-interval 10 --fail-on-lost
 
+echo "== fleet chaos smoke: worker kill+hang with zero dropped tickets =="
+python -m repro fleet-bench --suite chaos --check
+
 echo "== perf gates: batched training / parallel+cached generation =="
 python -m repro bench --scale "$SCALE" \
     --out benchmarks/results/BENCH_perf.json --check
@@ -53,6 +56,10 @@ python -m repro bench --scale "$SCALE" \
 echo "== serving gates: micro-batch throughput / warm cache / overload =="
 python -m repro serve-bench --scale "$SCALE" \
     --out benchmarks/results/BENCH_serve.json --check
+
+echo "== fleet gates: hash-aware scaling / worker chaos / shared tier =="
+python -m repro fleet-bench --scale "$SCALE" \
+    --out benchmarks/results/BENCH_fleet.json --check
 
 echo "== reproduce every table and figure (scale=$SCALE) =="
 REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only \

@@ -22,10 +22,11 @@ NumPy/SciPy/NetworkX:
 
 __version__ = "1.2.0"
 
-from . import (baselines, core, data, features, graph, gpu, metrics, models,
-               nn, obs, resilience, sched, tensor)
+from . import (baselines, core, data, features, fleet, graph, gpu, metrics,
+               models, nn, obs, resilience, sched, tensor)
 
 __all__ = [
     "tensor", "nn", "graph", "models", "gpu", "features", "data", "core",
-    "baselines", "sched", "metrics", "obs", "resilience", "__version__",
+    "baselines", "sched", "metrics", "obs", "resilience", "fleet",
+    "__version__",
 ]

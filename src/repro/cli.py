@@ -19,7 +19,11 @@ Three subcommands mirror the system's three roles:
 * ``serve-bench`` — the serving suite: micro-batched throughput,
   warm-cache hit path, concurrent-client latency (p50/p99), zoo
   equivalence, and overload shedding.  ``--check`` turns the serve
-  gates into a CI gate (``repro bench --check`` includes them too).
+  gates into a CI gate (``repro bench --check`` includes them too);
+* ``fleet-bench`` — the multi-worker fleet suite: hash-aware scaling
+  at widths 1/2/4, worker-kill + hang chaos with zero dropped
+  requests, and the shared disk tier.  ``--suite`` narrows to one
+  suite; ``--check`` gates (merged into ``repro bench --check``).
 
 Observability: ``profile`` / ``schedule`` / ``trace`` accept
 ``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
@@ -232,6 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload multiplier (CI uses small scales)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero if any serve gate fails")
+
+    p = sub.add_parser(
+        "fleet-bench", help="run the multi-worker fleet scaling/chaos gates")
+    # mirrors repro.fleet.bench.FLEET_SUITES (imported lazily below)
+    p.add_argument("--suite", choices=("all", "scaling", "chaos", "shared"),
+                   default="all",
+                   help="run one suite (chaos is the CI smoke) or all")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the BENCH_fleet.json document here")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload multiplier (CI uses small scales)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any fleet gate fails")
 
     p = sub.add_parser(
         "obs-bench", help="run the observability overhead/SLO gates")
@@ -509,6 +526,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from .fleet.bench import (FLEET_SUITES, format_fleet_summary,
+                              run_fleet_benchmarks)
+    suites = FLEET_SUITES if args.suite == "all" else (args.suite,)
+    results = run_fleet_benchmarks(scale=args.scale, suites=suites)
+    print(format_fleet_summary(results))
+    if args.out:
+        from .perf.bench import save_results
+        save_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check and not all(results["gates"].values()):
+        failed = [k for k, v in results["gates"].items() if not v]
+        print(f"fleet gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_obs_bench(args: argparse.Namespace) -> int:
     from .obs.bench import format_obs_summary, run_obs_benchmarks
     from .perf.bench import save_results
@@ -534,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
                "dataset": _cmd_dataset, "lint": _cmd_lint,
                "bench": _cmd_bench,
                "serve-bench": _cmd_serve_bench,
+               "fleet-bench": _cmd_fleet_bench,
                "obs-bench": _cmd_obs_bench}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:

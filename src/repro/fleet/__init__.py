@@ -1,0 +1,28 @@
+"""repro.fleet: supervised multi-worker predictor fleet.
+
+The horizontal-scale layer above :mod:`repro.serve` (docs/fleet.md):
+N workers — in-process threads or spawned child processes — each
+hosting a warm :class:`~repro.serve.ModelSession`, behind a router
+that consistent-hashes :func:`repro.perf.cache.graph_key` to workers
+so their private LRUs stay hot on disjoint key ranges, over a shared
+content-addressed on-disk prediction tier.
+
+The robustness core: a supervisor with heartbeat health checks and a
+hung-worker deadline, automatic restarts under
+:class:`~repro.resilience.ExponentialBackoff`, retry-with-rehash to a
+sibling on worker death, graceful drain on shutdown, and last-resort
+degradation into the :class:`~repro.resilience.FallbackPredictor`
+chain — every ticket resolves even under worker-kill chaos.
+"""
+
+from .hashring import HashRing
+from .service import FleetService
+from .supervisor import Supervisor
+from .worker import (InProcessWorker, ProcessWorker, WorkerBusyError,
+                     WorkerCore, WorkerSpec, WorkerUnavailableError,
+                     default_model_factory)
+
+__all__ = ["FleetService", "HashRing", "Supervisor", "InProcessWorker",
+           "ProcessWorker", "WorkerCore", "WorkerSpec",
+           "WorkerBusyError", "WorkerUnavailableError",
+           "default_model_factory"]

@@ -1,0 +1,296 @@
+"""Fleet benchmark suite behind ``repro fleet-bench`` and the bench gates.
+
+Three suites, emitted as ``BENCH_fleet.json``:
+
+* **scaling** — the same distinct-graph workload through fleets of
+  1/2/4 thread-mode workers.  Two numbers per width: the **measured**
+  wall time on this host, and a **modeled makespan** computed from the
+  measured per-request service times and the *actual* consistent-hash
+  assignment of each request's ``graph_key`` to a worker (so hash skew
+  is in the model, not assumed away).  On a multi-core host the two
+  agree; on a single-core CI box thread-mode workers timeshare one CPU
+  and the measured wall cannot scale, which is why the headline
+  scaling gate is on the modeled makespan — ``meta.cpu_count`` is
+  recorded next to both so nobody mistakes one for the other (see
+  docs/fleet.md).
+* **chaos** — the workload through a 4-worker fleet under
+  :class:`~repro.resilience.FaultInjector` worker-kill **and**
+  worker-hang chaos.  Every ticket must resolve to a finite occupancy
+  in ``[0, 1]`` (zero dropped requests), and once the storm passes
+  every killed worker must have been restarted and re-joined the hash
+  ring with no restarts still pending.
+* **shared** — two fleets run back-to-back over one shared
+  content-addressed disk tier: the second fleet's workers start with
+  cold LRUs but must serve the repeat workload entirely from the
+  shared tier, paying zero forwards.
+
+Gates (merged into ``repro bench --check``): modeled 4-worker speedup
+>= 2.5x, chaos completes with zero dropped requests, the post-chaos
+fleet recovers to full strength, and the shared tier fully absorbs the
+second fleet's workload.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+from ..features import encode_graph
+from ..gpu import get_device
+from ..models import ModelConfig, build_model
+from ..perf.bench import BENCH_VERSION
+from ..perf.cache import graph_key
+from ..resilience import FaultConfig
+from .hashring import HashRing
+from .service import FleetService
+from .worker import default_model_factory
+
+__all__ = ["run_fleet_benchmarks", "evaluate_fleet_gates",
+           "format_fleet_summary", "FLEET_SUITES"]
+
+FLEET_SUITES = ("scaling", "chaos", "shared")
+
+#: small-graph zoo slice: fleet routing/failover overhead is per
+#: request, which small graphs keep visible (large graphs are
+#: forward-bound on every width and speedups trivially converge)
+_FLEET_MODELS = ("lenet", "alexnet", "rnn", "lstm")
+_BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+_WIDTHS = (1, 2, 4)
+
+
+def _workload(count: int) -> list:
+    """``count`` structurally distinct graphs (model x batch-size grid)."""
+    graphs = []
+    for bs in _BATCH_SIZES:
+        for name in _FLEET_MODELS:
+            graphs.append(build_model(name, ModelConfig(batch_size=bs)))
+            if len(graphs) == count:
+                return graphs
+    raise ValueError(f"grid exhausted below {count} graphs")
+
+
+def bench_scaling(scale: float = 1.0) -> dict:
+    """Measured wall + hash-aware modeled makespan at widths 1/2/4."""
+    device = get_device("A100")
+    # Floored at 24 graphs regardless of scale: with fewer keys the
+    # hash-skew in the makespan model is dominated by quantization
+    # noise and the 2.5x gate would be judging luck, not routing.
+    graphs = _workload(min(32, max(24, int(round(24 * scale)))))
+    keys = [graph_key(g, device) for g in graphs]
+
+    # Per-request service time of the worker's forward path (encode +
+    # predict on a warm model) — the quantity each worker's busy-sum is
+    # made of.  Best-of-2 to shave scheduler noise.
+    model = default_model_factory()
+    model.predict(encode_graph(graphs[0], device))  # warm lazy paths
+    service_s = []
+    for g in graphs:
+        best = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            model.predict(encode_graph(g, device))
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        service_s.append(best)
+    total_service_s = sum(service_s)
+
+    measured = {}
+    modeled = {}
+    for width in _WIDTHS:
+        svc = FleetService(num_workers=width, mode="thread")
+        try:
+            t0 = time.perf_counter()
+            svc.predict_many(graphs)
+            wall = time.perf_counter() - t0
+            served = svc.stats()["served"]
+        finally:
+            svc.close()
+        measured[str(width)] = {
+            "wall_s": wall,
+            "predictions_per_s": len(graphs) / wall,
+            "served": served,
+        }
+        # The model replays the *actual* ring assignment: each request
+        # lands on the worker that owns its graph_key, and the fleet
+        # finishes when the busiest worker drains.  Hash skew between
+        # workers is therefore measured, not idealized away.
+        ring = HashRing()
+        for wid in range(width):
+            ring.add(wid)
+        busy = {wid: 0.0 for wid in range(width)}
+        for key, dt in zip(keys, service_s):
+            busy[ring.candidates(key, limit=1)[0]] += dt
+        makespan = max(busy.values())
+        modeled[str(width)] = {
+            "makespan_s": makespan,
+            "busy_s": {str(w): b for w, b in sorted(busy.items())},
+            "speedup": total_service_s / makespan,
+        }
+
+    return {
+        "graphs": len(graphs),
+        "total_service_s": total_service_s,
+        "per_request_service_s": {
+            "min": min(service_s), "max": max(service_s),
+            "mean": total_service_s / len(service_s)},
+        "measured": measured,
+        "modeled": modeled,
+        "modeled_speedup_at_4": modeled["4"]["speedup"],
+        "measured_speedup_at_4": (measured["1"]["wall_s"]
+                                  / measured["4"]["wall_s"]),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_chaos(scale: float = 1.0) -> dict:
+    """Worker-kill + worker-hang chaos: zero drops, full recovery."""
+    graphs = _workload(8)
+    passes = max(4, int(round(6 * scale)))
+    num_workers = 4
+    svc = FleetService(
+        num_workers=num_workers, mode="thread",
+        fault_config=FaultConfig(worker_kill_prob=0.2,
+                                 worker_hang_prob=0.08),
+        fault_seed=11, hang_deadline_s=2.0)
+    try:
+        t0 = time.perf_counter()
+        values = []
+        for _ in range(passes):
+            values.extend(svc.predict(g) for g in graphs)
+        wall = time.perf_counter() - t0
+        resolved = [v for v in values
+                    if isinstance(v, float) and 0.0 <= v <= 1.0]
+        # Let the last scheduled restarts land before judging recovery
+        # (the supervisor pops them on its own tick; a rebuilt model
+        # takes a moment to construct).
+        gate = threading.Event()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            st = svc.stats()
+            if (len(st["ring_members"]) == num_workers
+                    and st["restarts"] >= st["deaths"]):
+                break
+            gate.wait(0.05)
+        st = svc.stats()
+    finally:
+        svc.close()
+    return {
+        "requests": len(values),
+        "resolved": len(resolved),
+        "dropped": len(values) - len(resolved),
+        "wall_s": wall,
+        "deaths": st["deaths"],
+        "restarts": st["restarts"],
+        "retries": st["retries"],
+        "stale_results": st["stale_results"],
+        "served": st["served"],
+        "fallbacks": st["fallbacks"],
+        "ring_members": st["ring_members"],
+        "num_workers": num_workers,
+        "recovered": (len(st["ring_members"]) == num_workers
+                      and st["restarts"] >= st["deaths"]),
+    }
+
+
+def bench_shared(scale: float = 1.0) -> dict:
+    """Second fleet over the same disk tier must pay zero forwards."""
+    graphs = _workload(min(16, max(6, int(round(12 * scale)))))
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as root:
+        first = FleetService(num_workers=2, mode="thread",
+                             shared_cache_dir=root)
+        try:
+            a = first.predict_many(graphs)
+            first_served = first.stats()["served"]
+        finally:
+            first.close()
+        second = FleetService(num_workers=2, mode="thread",
+                              shared_cache_dir=root)
+        try:
+            b = second.predict_many(graphs)
+            second_served = second.stats()["served"]
+        finally:
+            second.close()
+    return {
+        "graphs": len(graphs),
+        "bit_identical": a == b,
+        "first_served": first_served,
+        "second_served": second_served,
+        "second_forwards": second_served.get("forward", 0),
+        "second_shared_hits": second_served.get("shared", 0),
+    }
+
+
+_SUITE_FNS = {"scaling": bench_scaling, "chaos": bench_chaos,
+              "shared": bench_shared}
+
+
+def run_fleet_benchmarks(scale: float = 1.0,
+                         suites: "tuple[str, ...]" = FLEET_SUITES) -> dict:
+    """Run the selected suites; returns the ``BENCH_fleet.json`` document."""
+    unknown = [s for s in suites if s not in _SUITE_FNS]
+    if unknown:
+        raise ValueError(f"unknown fleet suites: {unknown}")
+    results = {
+        "meta": {
+            "bench_version": BENCH_VERSION,
+            "cpu_count": os.cpu_count(),
+            "scale": scale,
+            "suites": list(suites),
+        },
+    }
+    for name in FLEET_SUITES:
+        if name in suites:
+            results[name] = _SUITE_FNS[name](scale)
+    results["gates"] = evaluate_fleet_gates(results)
+    return results
+
+
+def evaluate_fleet_gates(results: dict) -> dict:
+    """Fleet acceptance gates over whichever suites are present."""
+    gates = {}
+    if "scaling" in results:
+        gates["fleet_scaling_2_5x"] = \
+            results["scaling"]["modeled_speedup_at_4"] >= 2.5
+    if "chaos" in results:
+        c = results["chaos"]
+        gates["fleet_chaos_zero_dropped"] = c["dropped"] == 0
+        gates["fleet_chaos_recovers"] = bool(c["recovered"])
+    if "shared" in results:
+        s = results["shared"]
+        gates["fleet_shared_tier_hits"] = (
+            s["bit_identical"] and s["second_forwards"] == 0
+            and s["second_shared_hits"] == s["graphs"])
+    return gates
+
+
+def format_fleet_summary(results: dict) -> str:
+    """Human-readable digest of a fleet benchmark document."""
+    lines = []
+    if "scaling" in results:
+        s = results["scaling"]
+        modeled = " ".join(
+            f"w{w}={m['speedup']:.2f}x" for w, m in s["modeled"].items())
+        lines.append(
+            f"scaling : modeled {modeled} over {s['graphs']} graphs "
+            f"(measured w4 {s['measured_speedup_at_4']:.2f}x on "
+            f"{s['cpu_count']} cpu)")
+    if "chaos" in results:
+        c = results["chaos"]
+        lines.append(
+            f"chaos   : {c['resolved']}/{c['requests']} resolved "
+            f"({c['dropped']} dropped), {c['deaths']} deaths / "
+            f"{c['restarts']} restarts / {c['retries']} retries, "
+            f"fallbacks {c['fallbacks']}, ring "
+            f"{len(c['ring_members'])}/{c['num_workers']}")
+    if "shared" in results:
+        s = results["shared"]
+        lines.append(
+            f"shared  : second fleet {s['second_shared_hits']}/"
+            f"{s['graphs']} from disk tier, {s['second_forwards']} "
+            f"forwards, bit-identical: {s['bit_identical']}")
+    lines.append("gates   : " + "  ".join(
+        f"{k}={'PASS' if v else 'FAIL'}"
+        for k, v in results["gates"].items()))
+    return "\n".join(lines)

@@ -40,8 +40,8 @@ from .names import METRIC_NAMES, declare, declared_names, is_declared
 from .logging import (LOG_LEVELS, KeyValueFormatter, configure_logging,
                       get_logger)
 from .flight import FlightRecord, FlightRecorder, format_flight_table
-from .slo import (SLOEngine, SLOSpec, SLOStatus, default_serve_slos,
-                  format_slo_report)
+from .slo import (SLOEngine, SLOSpec, SLOStatus, default_fleet_slos,
+                  default_serve_slos, format_slo_report)
 from .summary import (SpanStat, format_metrics_table,
                       format_request_summary, load_trace_file,
                       request_groups, span_stats, span_tree,
@@ -59,6 +59,7 @@ __all__ = [
     "configure_logging", "get_logger", "KeyValueFormatter", "LOG_LEVELS",
     "FlightRecord", "FlightRecorder", "format_flight_table",
     "SLOSpec", "SLOStatus", "SLOEngine", "default_serve_slos",
+    "default_fleet_slos",
     "format_slo_report",
     "SpanStat", "load_trace_file", "span_stats", "summarize_trace",
     "format_metrics_table", "request_groups", "span_tree",

@@ -20,6 +20,26 @@ __all__ = ["METRIC_NAMES", "declared_names", "is_declared", "declare"]
 
 #: name -> one-line help string.  Keep alphabetized within each block.
 METRIC_NAMES: dict[str, str] = {
+    # -- fleet ---------------------------------------------------------- #
+    "fleet_fallbacks_total": "fleet tickets resolved by the fallback "
+                             "chain, labeled by reason",
+    "fleet_pending_requests": "fleet requests awaiting a worker result",
+    "fleet_request_latency_seconds": "end-to-end fleet request latency",
+    "fleet_requests_total": "prediction requests accepted by the fleet",
+    "fleet_retries_total": "orphaned requests rerouted to a sibling "
+                           "worker after a worker death",
+    "fleet_served_total": "fleet requests resolved by a worker, labeled "
+                          "by cache tier",
+    "fleet_shared_cache_hits_total": "fleet requests served from the "
+                                     "shared on-disk prediction tier",
+    "fleet_shared_cache_misses_total": "fleet forwards that missed the "
+                                       "shared on-disk prediction tier",
+    "fleet_stale_results_total": "late results from a detached worker "
+                                 "incarnation, discarded",
+    "fleet_worker_deaths_total": "fleet worker deaths, labeled by kind "
+                                 "(kill / hang / exit)",
+    "fleet_worker_restarts_total": "fleet workers restarted by the "
+                                   "supervisor",
     # -- lint ----------------------------------------------------------- #
     "lint_concurrency_findings_total": "concurrency lint findings, "
                                        "labeled by code",
@@ -59,6 +79,8 @@ METRIC_NAMES: dict[str, str] = {
     "sched_queue_depth": "jobs waiting for a GPU",
     # -- serve ---------------------------------------------------------- #
     "serve_batch_size": "requests coalesced per micro-batch flush",
+    "serve_deadline_shed_total": "requests shed to the fallback chain by "
+                                 "a caller-side result deadline",
     "serve_dispatch_errors_total": "requests failed by a dispatch "
                                    "exception",
     "serve_encoding_cache_hits_total": "requests served a memoized "

@@ -12,8 +12,9 @@ Three prongs (see docs/performance.md):
 
 from .batching import (NEG_INF, GraphBatch, bucket_by_size, clear_spd_memo,
                        collate, ensure_spd, spd_memo_disabled)
-from .cache import ProfileCache, cache_key, graph_key, structure_key
+from .cache import (PredictionCache, ProfileCache, cache_key, graph_key,
+                    structure_key)
 
 __all__ = ["NEG_INF", "GraphBatch", "bucket_by_size", "clear_spd_memo",
            "collate", "ensure_spd", "spd_memo_disabled", "ProfileCache",
-           "cache_key", "graph_key", "structure_key"]
+           "PredictionCache", "cache_key", "graph_key", "structure_key"]

@@ -16,8 +16,9 @@ Four suites, each emitting machine-readable numbers into
 Gates (``repro bench --check``): batched training >= 3x samples/sec,
 warm ``workers=4`` generation >= 2x over cold serial with a bit-identical
 dataset, and batched predictions/gradients within 1e-6 of per-graph.
-By default the serving suites (:mod:`repro.serve.bench`) run too and
-their gates merge in — see docs/serving.md.
+By default the serving suites (:mod:`repro.serve.bench`) and the fleet
+suites (:mod:`repro.fleet.bench`) run too and their gates merge in —
+see docs/serving.md and docs/fleet.md.
 Raw cold-scaling numbers are recorded alongside ``cpu_count`` — on a
 single-core CI box process parallelism cannot beat serial, which is why
 the headline generation gate compares the full feature (parallel +
@@ -225,14 +226,17 @@ def bench_generate(scale: float = 1.0) -> dict:
 
 
 def run_benchmarks(scale: float = 1.0, serve: bool = True,
-                   obs: bool = True) -> dict:
+                   obs: bool = True, fleet: bool = True) -> dict:
     """Run every suite; returns the ``BENCH_perf.json`` document.
 
     ``serve=True`` also runs the serving suites (``repro.serve.bench``)
     and merges their gates, so ``repro bench --check`` covers the online
     path too; ``repro serve-bench`` runs them standalone.  ``obs=True``
     does the same for the observability suites (``repro.obs.bench`` /
-    ``repro obs-bench``), including the tracing-overhead guard.
+    ``repro obs-bench``), including the tracing-overhead guard, and
+    ``fleet=True`` for the multi-worker fleet suites
+    (``repro.fleet.bench`` / ``repro fleet-bench``): scaling, worker
+    chaos, and the shared disk tier.
     """
     results = {
         "meta": {
@@ -257,6 +261,11 @@ def run_benchmarks(scale: float = 1.0, serve: bool = True,
         obs_doc = run_obs_benchmarks(scale)
         results["obs"] = {k: v for k, v in obs_doc.items()
                           if k not in ("meta", "gates")}
+    if fleet:
+        from ..fleet.bench import run_fleet_benchmarks
+        fleet_doc = run_fleet_benchmarks(scale)
+        results["fleet"] = {k: v for k, v in fleet_doc.items()
+                            if k not in ("meta", "gates")}
     results["gates"] = evaluate_gates(results)
     return results
 
@@ -278,6 +287,9 @@ def evaluate_gates(results: dict) -> dict:
     if "obs" in results:
         from ..obs.bench import evaluate_obs_gates
         gates.update(evaluate_obs_gates(results["obs"]))
+    if "fleet" in results:
+        from ..fleet.bench import evaluate_fleet_gates
+        gates.update(evaluate_fleet_gates(results["fleet"]))
     return gates
 
 
@@ -306,6 +318,14 @@ def format_summary(results: dict) -> str:
             f"{s['warm_cache']['speedup']:.0f}x, p99 "
             f"{s['latency']['latency_s']['p99'] * 1e3:.2f}ms, "
             f"{s['overload']['shed']} shed under overload")
+    if "fleet" in results:
+        f = results["fleet"]
+        lines.append(
+            f"fleet   : modeled "
+            f"{f['scaling']['modeled_speedup_at_4']:.2f}x at 4 workers, "
+            f"chaos {f['chaos']['resolved']}/{f['chaos']['requests']} "
+            f"resolved ({f['chaos']['deaths']} deaths), shared tier "
+            f"{f['shared']['second_shared_hits']}/{f['shared']['graphs']}")
     if "obs" in results:
         o = results["obs"]["tracing_overhead"]
         lines.append(

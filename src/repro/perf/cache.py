@@ -40,8 +40,8 @@ from ..obs.metrics import counter
 from ..resilience.checkpoint import (CheckpointError, load_checkpoint,
                                      save_checkpoint)
 
-__all__ = ["ProfileCache", "CacheEntry", "cache_key", "graph_key",
-           "structure_key"]
+__all__ = ["ProfileCache", "CacheEntry", "PredictionCache", "cache_key",
+           "graph_key", "structure_key"]
 
 _CACHE_VERSION = 1
 
@@ -234,3 +234,58 @@ class ProfileCache:
 
     def __len__(self) -> int:
         return sum(1 for f in os.listdir(self.root) if f.endswith(".npz"))
+
+
+class PredictionCache:
+    """Shared content-addressed on-disk tier for served *predictions*.
+
+    The fleet's per-worker LRUs (:class:`repro.serve.ModelSession`) are
+    private to one worker process; this directory is the tier below
+    them, shared by every worker — a prediction any worker has paid a
+    forward for is a disk hit for all of them, and it survives worker
+    restarts.  Keys are :func:`graph_key` (graph + device, simulator-
+    agnostic, same as the LRUs above), so an entry can never be served
+    for a different graph or device.
+
+    Entries reuse the checksummed :mod:`repro.resilience.checkpoint`
+    container: writes are atomic (``tempfile`` + ``os.replace``, safe
+    under concurrent multi-process writers), and a corrupt or foreign
+    entry fails its digest/metadata check and reads as a miss.
+    """
+
+    _KIND = "fleet-pred"
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"pred_{key}.npz")
+
+    def get(self, key: str) -> float | None:
+        """The cached prediction, or ``None`` (corrupt entries miss)."""
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            arrays, meta = load_checkpoint(path, component="fleet-cache")
+            if meta.get("kind") != self._KIND or meta.get("key") != key:
+                raise CheckpointError(
+                    f"prediction entry {key[:12]}... has foreign "
+                    f"metadata (kind={meta.get('kind')!r})")
+            return float(arrays["value"][0])
+        except (CheckpointError, KeyError, IndexError, OSError) as exc:
+            _log.warning("corrupt prediction-cache entry; ignoring",
+                         extra={"key": key[:12],
+                                "error": type(exc).__name__})
+            return None
+
+    def put(self, key: str, value: float) -> None:
+        save_checkpoint(self._path(key),
+                        {"value": np.array([float(value)])},
+                        {"kind": self._KIND, "key": key},
+                        component="fleet-cache")
+
+    def __len__(self) -> int:
+        return sum(1 for f in os.listdir(self.root)
+                   if f.startswith("pred_") and f.endswith(".npz"))

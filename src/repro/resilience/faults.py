@@ -29,6 +29,7 @@ __all__ = ["FaultConfig", "FaultInjector"]
 _STREAM_OUTAGE = 1
 _STREAM_CRASH = 2
 _STREAM_NOISE = 3
+_STREAM_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,14 @@ class FaultConfig:
     checkpoint_interval_s: float | None = None
     max_retries: int = 100
     backoff: ExponentialBackoff = field(default_factory=ExponentialBackoff)
+    #: per-request probability that the serving worker handling the
+    #: request dies mid-flight (process exit / thread death) without
+    #: resolving it — the repro.fleet supervisor must reroute + restart.
+    worker_kill_prob: float = 0.0
+    #: per-request probability that the worker stalls instead: it stops
+    #: heartbeating and never responds, so only the supervisor's
+    #: hung-worker deadline can reclaim it.
+    worker_hang_prob: float = 0.0
 
     def __post_init__(self) -> None:
         if self.gpu_mtbf_s is not None and self.gpu_mtbf_s <= 0:
@@ -72,6 +81,13 @@ class FaultConfig:
                              "(or None)")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= self.worker_kill_prob <= 1.0:
+            raise ValueError("worker_kill_prob must be in [0, 1]")
+        if not 0.0 <= self.worker_hang_prob <= 1.0:
+            raise ValueError("worker_hang_prob must be in [0, 1]")
+        if self.worker_kill_prob + self.worker_hang_prob > 1.0:
+            raise ValueError("worker_kill_prob + worker_hang_prob must "
+                             "not exceed 1")
 
 
 class FaultInjector:
@@ -133,6 +149,30 @@ class FaultInjector:
         noisy = value * math.exp(
             float(rng.normal(0.0, self.config.mispredict_std)))
         return float(min(1.0, max(0.0, noisy)))
+
+    # -- serving-worker faults ------------------------------------------- #
+    def worker_fault(self, worker_id: int, incarnation: int,
+                     request_index: int) -> str | None:
+        """Fault verdict for one request on one worker incarnation.
+
+        Returns ``None`` (healthy), ``"kill"`` (the worker dies without
+        resolving the request), or ``"hang"`` (the worker stops
+        heartbeating and never responds).  Keyed by
+        ``(worker_id, incarnation, request_index)`` so a restarted
+        worker rolls fresh dice from its first request, and the verdict
+        for request *k* never depends on what other workers were asked.
+        """
+        cfg = self.config
+        if cfg.worker_kill_prob <= 0.0 and cfg.worker_hang_prob <= 0.0:
+            return None
+        rng = self._rng(_STREAM_WORKER, worker_id, incarnation,
+                        request_index)
+        draw = float(rng.random())
+        if draw < cfg.worker_kill_prob:
+            return "kill"
+        if draw < cfg.worker_kill_prob + cfg.worker_hang_prob:
+            return "hang"
+        return None
 
     # -- retry pacing ---------------------------------------------------- #
     def requeue_delay(self, job_id: int, attempt: int) -> float:

@@ -27,7 +27,7 @@ import time
 from collections import deque
 from typing import Callable, Sequence
 
-from ..lint.sanitizer import new_condition
+from ..lint.sanitizer import new_condition, new_lock
 from ..obs.context import capture_context, use_context
 from ..obs.metrics import counter, gauge, histogram
 from ..obs.tracing import span
@@ -47,10 +47,17 @@ class QueueFullError(RuntimeError):
 
 
 class Ticket:
-    """One submitted request's future result.
+    """One submitted request's future result — resolved exactly once.
 
     ``result()`` blocks the submitting thread until the dispatcher
-    resolves the ticket (or re-raises the dispatch exception).
+    resolves the ticket (or re-raises the dispatch exception).  The
+    first :meth:`set_result` / :meth:`set_exception` wins; later
+    resolutions are discarded and report ``False``.  That one-shot
+    contract is what makes deadline shedding safe: a caller whose
+    ``result(timeout=...)`` expired can resolve the ticket with a
+    fallback value, and the dispatcher's late result (or a fleet
+    worker's, after a failover retry) is dropped instead of silently
+    replacing the value the caller already acted on.
 
     Creation captures the submitting thread's span context (``ctx``) —
     the request/trace ids plus the id of the span open at the handoff —
@@ -59,27 +66,45 @@ class Ticket:
     disconnected root.  ``None`` outside a request scope.
     """
 
-    __slots__ = ("_event", "_value", "_exc", "enqueued_at", "ctx")
+    __slots__ = ("_event", "_value", "_exc", "_lock", "enqueued_at",
+                 "ctx")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value = None
         self._exc: BaseException | None = None
+        self._lock = new_lock("Ticket._lock")
         self.enqueued_at = time.monotonic()
         self.ctx = capture_context()
 
     def done(self) -> bool:
         return self._event.is_set()
 
-    def set_result(self, value) -> None:
-        self._value = value
-        self._event.set()
+    def set_result(self, value) -> bool:
+        """Resolve with ``value``; ``False`` if already resolved."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._event.set()
+            return True
 
-    def set_exception(self, exc: BaseException) -> None:
-        self._exc = exc
-        self._event.set()
+    def set_exception(self, exc: BaseException) -> bool:
+        """Fail with ``exc``; ``False`` if already resolved."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._exc = exc
+            self._event.set()
+            return True
 
     def result(self, timeout: float | None = None):
+        """The resolved value, waiting up to ``timeout`` seconds.
+
+        Raises :class:`TimeoutError` when the deadline expires first —
+        at which point the caller may shed (resolve the ticket itself
+        with a fallback value) and any late resolution is discarded.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError("ticket not resolved within timeout")
         if self._exc is not None:

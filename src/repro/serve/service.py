@@ -230,13 +230,31 @@ class PredictorService:
             "end-to-end serve request latency",
             buckets=_LATENCY_BUCKETS)
         self._shed = 0
+        self._deadline_sheds = 0
         self._requests = 0
+        self._closed = False
         self._stat_lock = new_lock("PredictorService._stat_lock")
 
     # -- core request paths --------------------------------------------- #
-    def predict(self, graph, device: DeviceSpec | None = None) -> float:
-        """Predict occupancy for one graph, blocking until served."""
-        return self.predict_async(graph, device).result()
+    def predict(self, graph, device: DeviceSpec | None = None,
+                timeout: float | None = None) -> float:
+        """Predict occupancy for one graph, blocking until served.
+
+        With ``timeout`` (seconds), a request still unresolved at the
+        deadline is *shed*: the fallback chain answers synchronously and
+        the caller returns immediately with that value.  The ticket is
+        resolved with the fallback answer (first resolution wins), so
+        the dispatcher's late result is discarded rather than racing —
+        the value this call returned is the value every other observer
+        of the ticket sees.
+        """
+        ticket = self.predict_async(graph, device)
+        if timeout is None:
+            return ticket.result()
+        try:
+            return ticket.result(timeout)
+        except TimeoutError:
+            return self._deadline_shed(ticket, graph, device)
 
     def predict_async(self, graph,
                       device: DeviceSpec | None = None) -> Ticket:
@@ -294,7 +312,15 @@ class PredictorService:
                     _Request(feats, key, start, graph, device, cache,
                              rid, tid))
         except QueueFullError:
-            return self._shed_request(graph, device, start, rid, tid)
+            return self._shed_request(graph, device, start, rid, tid,
+                                      reason="queue full")
+        except RuntimeError:
+            # Submission raced close(): the batcher is draining or gone.
+            # A closed service still answers — synchronously, through
+            # the fallback chain — instead of surfacing the internal
+            # lifecycle error to the caller.
+            return self._shed_request(graph, device, start, rid, tid,
+                                      reason="closed")
 
     def predict_many(self, graphs, device: DeviceSpec | None = None) \
             -> np.ndarray:
@@ -362,12 +388,12 @@ class PredictorService:
             self._requests += 1
 
     def _shed_request(self, graph, device, start: float,
-                      rid, tid) -> Ticket:
+                      rid, tid, reason: str = "queue full") -> Ticket:
         counter("serve_shed_total",
                 "requests shed to the fallback chain (queue full)").inc()
         with self._stat_lock:
             self._shed += 1
-        _log.warning("queue full; shedding to fallback chain", extra={
+        _log.warning("%s; shedding to fallback chain", reason, extra={
             "graph": getattr(graph, "name", "") or "<graph>",
             "depth": self.batcher.max_queue_depth})
         with span("serve.fallback") as sp:
@@ -380,6 +406,34 @@ class PredictorService:
         self._finish(rid, tid, graph, device, elapsed, "shed", "miss",
                      float(mean), tier=self.fallback.last_tier)
         return ticket
+
+    def _deadline_shed(self, ticket: Ticket, graph, device) -> float:
+        """Resolve a deadline-expired ticket with the fallback answer.
+
+        Runs on the *caller's* thread after ``ticket.result(timeout)``
+        timed out.  If the dispatcher resolved the ticket in the window
+        between the timeout and our :meth:`Ticket.set_result`, the
+        one-shot contract makes it lose gracefully: ``set_result``
+        returns ``False`` and we return the real value instead — the
+        late result is never double-delivered, and no request is ever
+        answered twice with different numbers.
+        """
+        with span("serve.fallback") as sp:
+            mean, _std = self.fallback(graph,
+                                       device or self.session.device)
+            sp.set_attr(tier=self.fallback.last_tier)
+        if not ticket.set_result(float(mean)):
+            return ticket.result()
+        counter("serve_deadline_shed_total",
+                "requests shed to the fallback chain by a caller-side "
+                "result deadline").inc()
+        with self._stat_lock:
+            self._deadline_sheds += 1
+        _log.warning("result deadline expired; shed to fallback chain",
+                     extra={"graph": getattr(graph, "name", "")
+                            or "<graph>",
+                            "tier": self.fallback.last_tier})
+        return float(mean)
 
     def _dispatch_batch(self, requests) -> list[float]:
         """MicroBatcher dispatch: forward, fill the cache, record latency.
@@ -447,6 +501,8 @@ class PredictorService:
         """Snapshot of the service's counters and queue accounting."""
         with self._stat_lock:
             requests, shed = self._requests, self._shed
+            deadline_sheds = self._deadline_sheds
+            closed = self._closed
         # the batcher counters are written on the dispatcher thread;
         # MicroBatcher.stats() snapshots them under the batcher's own
         # condition (reading the attributes bare here raced the
@@ -454,6 +510,8 @@ class PredictorService:
         out = {
             "requests": requests,
             "shed": shed,
+            "deadline_shed": deadline_sheds,
+            "closed": closed,
             "result_cache_entries": len(self.session.results),
             "encoding_cache_entries": len(self.session.encodings),
             "latency": self.latency_quantiles(),
@@ -467,7 +525,20 @@ class PredictorService:
         return out
 
     def close(self) -> None:
-        """Drain and stop the dispatcher; further predicts will fail."""
+        """Drain and stop the dispatcher.  Idempotent and non-fatal.
+
+        The first call drains the queue (in-flight ``predict_async``
+        tickets resolve normally — the batcher's drain flush serves
+        them) and stops the dispatcher thread; repeat calls return
+        immediately.  Requests submitted *after* close are not errors:
+        they route synchronously through the fallback chain (see
+        :meth:`_request`), so a torn-down service degrades instead of
+        raising into callers that still hold a reference.
+        """
+        with self._stat_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.batcher.close()
 
     def __enter__(self) -> "PredictorService":

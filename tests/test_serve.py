@@ -536,13 +536,17 @@ class TestServeMetrics:
 # --------------------------------------------------------------------- #
 
 class TestLifecycle:
-    def test_close_rejects_new_requests(self):
+    def test_close_degrades_new_requests_to_fallback(self):
         svc = PredictorService(_model(), A100)
         g = _small_graphs(1)[0]
         svc.predict(g)
         svc.close()
-        with pytest.raises(RuntimeError):
-            svc.predict(_small_graphs(2)[1])
+        # post-close submissions are not errors: they route
+        # synchronously through the fallback chain
+        value = svc.predict(_small_graphs(2)[1])
+        assert 0.0 <= value <= 1.0
+        assert svc.fallback.tier_counts["constant"] == 1
+        assert svc.stats()["closed"]
 
     def test_cached_model_session_reusable_across_services(self):
         from repro.serve import ModelSession
@@ -566,3 +570,77 @@ class TestLifecycle:
         name, fn = gnn_tier(model, preflight=False)
         with PredictorService(model, A100) as svc:
             assert svc.predict(g) == fn(g, A100)
+
+
+# --------------------------------------------------------------------- #
+# lifecycle: idempotent close, post-close degradation, deadlines
+# --------------------------------------------------------------------- #
+
+class TestCloseAndDeadlines:
+    def test_close_is_idempotent(self):
+        svc = PredictorService(_model(), A100)
+        svc.predict(_small_graphs(1)[0])
+        svc.close()
+        svc.close()  # second close is a no-op, not an error
+        assert svc.stats()["closed"]
+
+    def test_close_with_concurrent_inflight_requests(self):
+        """In-flight predict_async tickets resolve across close()."""
+        graphs = _small_graphs(8)
+        svc = PredictorService(_model(), A100, max_batch_size=4)
+        tickets = [svc.predict_async(g) for g in graphs]
+        svc.close()  # drain flush serves whatever is still queued
+        values = [t.result(10.0) for t in tickets]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # post-close submissions degrade synchronously, never raise
+        late = svc.predict_async(graphs[0])
+        assert late.done()
+        assert 0.0 <= late.result(0.0) <= 1.0
+
+    def test_ticket_result_is_one_shot(self):
+        t = Ticket()
+        assert t.set_result(0.25)
+        assert not t.set_result(0.75)
+        assert not t.set_exception(RuntimeError("late"))
+        assert t.result(0.0) == 0.25
+
+    def test_ticket_exception_is_one_shot(self):
+        t = Ticket()
+        assert t.set_exception(RuntimeError("down"))
+        assert not t.set_result(0.5)
+        with pytest.raises(RuntimeError):
+            t.result(0.0)
+
+    def test_predict_timeout_sheds_to_fallback(self):
+        g = _small_graphs(1)[0]
+        with obs.observed() as (_, registry):
+            with PredictorService(_model(), A100) as svc:
+                svc.batcher.pause()
+                value = svc.predict(g, timeout=0.05)
+                assert 0.0 <= value <= 1.0
+                assert svc.fallback.tier_counts["constant"] == 1
+                assert svc.stats()["deadline_shed"] == 1
+                svc.batcher.resume()
+        counts = _counter_values(registry)
+        assert counts["serve_deadline_shed_total"] == 1
+
+    def test_late_result_after_deadline_is_discarded(self):
+        """The dispatcher's late answer never double-resolves."""
+        g = _small_graphs(1)[0]
+        with PredictorService(_model(), A100) as svc:
+            svc.batcher.pause()
+            shed_value = svc.predict(g, timeout=0.05)
+            svc.batcher.resume()
+            # let the paused request flush; its result lands in the
+            # result cache but must not rewrite the shed ticket
+            direct = _model().predict(encode_graph(g, A100))
+            second = svc.predict(g)
+        assert shed_value == svc.fallback(g, A100)[0]
+        assert second == direct  # fresh request sees the real answer
+
+    def test_timeout_none_still_blocks_for_real_answer(self):
+        g = _small_graphs(1)[0]
+        model = _model()
+        with PredictorService(model, A100) as svc:
+            assert svc.predict(g) == model.predict(encode_graph(g, A100))
+        assert svc.stats()["deadline_shed"] == 0
