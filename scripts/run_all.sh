@@ -53,6 +53,10 @@ echo "== perf gates: batched training / parallel+cached generation =="
 python -m repro bench --scale "$SCALE" \
     --out benchmarks/results/BENCH_perf.json --check
 
+echo "== trace gates: compiled replay speedup / equivalence / fallback =="
+python -m repro trace-bench --scale "$SCALE" \
+    --out benchmarks/results/BENCH_trace.json --check
+
 echo "== serving gates: micro-batch throughput / warm cache / overload =="
 python -m repro serve-bench --scale "$SCALE" \
     --out benchmarks/results/BENCH_serve.json --check

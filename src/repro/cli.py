@@ -23,7 +23,12 @@ Three subcommands mirror the system's three roles:
 * ``fleet-bench`` — the multi-worker fleet suite: hash-aware scaling
   at widths 1/2/4, worker-kill + hang chaos with zero dropped
   requests, and the shared disk tier.  ``--suite`` narrows to one
-  suite; ``--check`` gates (merged into ``repro bench --check``).
+  suite; ``--check`` gates (merged into ``repro bench --check``);
+* ``trace-bench`` — the trace-and-replay compiled executor suite:
+  replayed-tape speedup over the eager batched forward, zoo-wide
+  traced-vs-eager equivalence, serial bit-identity, and
+  fallback-on-miss.  ``--check`` gates (merged into
+  ``repro bench --check``).
 
 Observability: ``profile`` / ``schedule`` / ``trace`` accept
 ``--trace-out PATH`` to record spans + metrics into a Chrome trace-event
@@ -258,6 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload multiplier (CI uses small scales)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero if any obs gate fails")
+
+    p = sub.add_parser(
+        "trace-bench",
+        help="run the trace-and-replay compiled-executor gates")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the BENCH_trace.json document here")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload multiplier (CI uses small scales)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any trace gate fails")
     return parser
 
 
@@ -558,6 +573,22 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import save_results
+    from .perf.trace_bench import (format_trace_summary,
+                                   run_trace_benchmarks)
+    results = run_trace_benchmarks(scale=args.scale)
+    print(format_trace_summary(results))
+    if args.out:
+        save_results(results, args.out)
+        print(f"wrote {args.out}")
+    if args.check and not all(results["gates"].values()):
+        failed = [k for k, v in results["gates"].items() if not v]
+        print(f"trace gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level:
@@ -569,7 +600,8 @@ def main(argv: list[str] | None = None) -> int:
                "bench": _cmd_bench,
                "serve-bench": _cmd_serve_bench,
                "fleet-bench": _cmd_fleet_bench,
-               "obs-bench": _cmd_obs_bench}[args.command]
+               "obs-bench": _cmd_obs_bench,
+               "trace-bench": _cmd_trace_bench}[args.command]
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
         return handler(args)

@@ -103,6 +103,8 @@ class WorkerSpec:
     max_inflight: int = 256
     #: heartbeat grace before the first beat (spawn + import + build)
     spawn_grace_s: float = 30.0
+    #: drain cap: queued requests served per wake as one batched forward
+    max_batch: int = 8
 
 
 class WorkerCore:
@@ -151,23 +153,47 @@ class WorkerCore:
         result cache), ``"shared"`` (on-disk tier, promoted into the
         LRU), or ``"forward"`` (computed here and published to both).
         """
-        device = get_device(device_name) if device_name \
-            else self.session.device
-        key = self.session.key_for(graph, device)
-        cached = self.session.results.get(key)
-        if cached is not None:
-            return float(cached), "lru"
-        if self.shared is not None:
-            value = self.shared.get(key)
-            if value is not None:
+        return self.handle_many([(graph, device_name)])[0]
+
+    def handle_many(self, requests) -> "list[tuple[float, str]]":
+        """Serve a drained micro-batch of ``(graph, device_name)`` pairs.
+
+        Cache tiers resolve per request; the residual cache misses run
+        as **one** forward through
+        :meth:`~repro.serve.ModelSession.predict_features` — a single
+        miss keeps the eager per-graph forward (bit-identical to
+        :meth:`~repro.core.DNNOccu.predict`), two or more replay the
+        compiled batched tape (docs/compile.md).  Returns one
+        ``(prediction, tier)`` pair per request, in request order.
+        """
+        results: "list[tuple[float, str] | None]" = [None] * len(requests)
+        misses: "list[tuple[int, str, object]]" = []
+        for pos, (graph, device_name) in enumerate(requests):
+            device = get_device(device_name) if device_name \
+                else self.session.device
+            key = self.session.key_for(graph, device)
+            cached = self.session.results.get(key)
+            if cached is not None:
+                results[pos] = (float(cached), "lru")
+                continue
+            if self.shared is not None:
+                value = self.shared.get(key)
+                if value is not None:
+                    self.session.results.put(key, value)
+                    results[pos] = (float(value), "shared")
+                    continue
+            feats = self.session.encode(graph, device, key=key)
+            misses.append((pos, key, feats))
+        if misses:
+            values = self.session.predict_features(
+                [feats for _, _, feats in misses])
+            for (pos, key, _), value in zip(misses, values):
+                value = float(value)
                 self.session.results.put(key, value)
-                return float(value), "shared"
-        feats = self.session.encode(graph, device, key=key)
-        value = float(self.session.model.predict(feats))
-        self.session.results.put(key, value)
-        if self.shared is not None:
-            self.shared.put(key, value)
-        return value, "forward"
+                if self.shared is not None:
+                    self.shared.put(key, value)
+                results[pos] = (value, "forward")
+        return results
 
 
 class InProcessWorker:
@@ -252,25 +278,43 @@ class InProcessWorker:
                     self._beat = time.monotonic()
                 if self._stopped:
                     return
-                req_id, graph, device_name = self._queue.pop(0)
+                drained = self._queue[:self._spec.max_batch]
+                del self._queue[:len(drained)]
                 self._beat = time.monotonic()
-            fault = self._core.next_fault()
+            # Draw each drained request's fault verdict in arrival order,
+            # stopping at the first fault: the clean prefix is served as
+            # one batch, the faulted request and everything drained
+            # behind it die with the worker — the same orphan-then-retry
+            # outcome as the serial loop, where _die clears the queue.
+            serve: "list[tuple]" = []
+            fault = None
+            for item in drained:
+                verdict = self._core.next_fault()
+                if verdict is not None:
+                    fault = verdict
+                    break
+                serve.append(item)
+            if serve:
+                try:
+                    outs = self._core.handle_many(
+                        [(graph, device_name)
+                         for _, graph, device_name in serve])
+                except Exception as exc:
+                    _log.warning("worker request failed; dying", extra={
+                        "worker": self._spec.worker_id,
+                        "error": type(exc).__name__})
+                    self._die("error")
+                    return
+                for (req_id, _, _), (value, tier) in zip(serve, outs):
+                    self._on_result(self._spec.worker_id,
+                                    self._spec.incarnation,
+                                    req_id, value, tier)
             if fault == "kill":
                 self._die("kill")
                 return
             if fault == "hang":
                 self._hang()
                 return
-            try:
-                value, tier = self._core.handle(graph, device_name)
-            except Exception as exc:
-                _log.warning("worker request failed; dying", extra={
-                    "worker": self._spec.worker_id,
-                    "error": type(exc).__name__})
-                self._die("error")
-                return
-            self._on_result(self._spec.worker_id, self._spec.incarnation,
-                            req_id, value, tier)
             with self._cond:
                 self._beat = time.monotonic()
 
@@ -320,8 +364,44 @@ def _process_worker_main(spec: WorkerSpec, conn) -> None:
             return
         if msg[0] == "close":
             return
-        _, req_id, graph, device_name = msg
-        fault = core.next_fault()
+        # Drain whatever else is already on the pipe (up to the batch
+        # cap) so queued-up requests share one batched forward.
+        batch = [msg]
+        closing = False
+        try:
+            while len(batch) < spec.max_batch and conn.poll(0):
+                nxt = conn.recv()
+                if nxt[0] == "close":
+                    closing = True
+                    break
+                batch.append(nxt)
+        except (EOFError, OSError):
+            return
+        # Same arrival-order fault draw as the thread mode: the clean
+        # prefix is served, the faulted request and the drained suffix
+        # die with the worker (the parent reroutes them on death).
+        serve: "list[tuple]" = []
+        fault = None
+        for _, req_id, graph, device_name in batch:
+            verdict = core.next_fault()
+            if verdict is not None:
+                fault = verdict
+                break
+            serve.append((req_id, graph, device_name))
+        if serve:
+            try:
+                outs = core.handle_many(
+                    [(graph, device_name)
+                     for _, graph, device_name in serve])
+            except Exception:
+                # A real serving bug: die loudly; the parent sees EOF
+                # and reroutes, the supervisor restarts with backoff.
+                os._exit(1)
+            for (req_id, _, _), (value, tier) in zip(serve, outs):
+                try:
+                    conn.send(("ok", req_id, value, tier))
+                except (EOFError, OSError):
+                    return
         if fault == "kill":
             try:
                 conn.send(("fault", "kill"))
@@ -333,15 +413,7 @@ def _process_worker_main(spec: WorkerSpec, conn) -> None:
             # the grace expires and we exit on our own).
             threading.Event().wait(spec.hang_block_s)
             return
-        try:
-            value, tier = core.handle(graph, device_name)
-        except Exception:
-            # A real serving bug: die loudly; the parent sees EOF and
-            # reroutes, the supervisor restarts with backoff.
-            os._exit(1)
-        try:
-            conn.send(("ok", req_id, value, tier))
-        except (EOFError, OSError):
+        if closing:
             return
 
 

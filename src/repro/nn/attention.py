@@ -32,6 +32,9 @@ class MultiHeadAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        # Precomputed so every forward (and every traced tape) bakes the
+        # same scale constant instead of re-deriving it per call.
+        self.scale = 1.0 / np.sqrt(self.head_dim)
         self.w_q = Linear(dim, dim, rng)
         self.w_k = Linear(dim, dim, rng)
         self.w_v = Linear(dim, dim, rng)
@@ -66,7 +69,7 @@ class MultiHeadAttention(Module):
         k = self.w_k(kv).reshape(n_kv, h, d).transpose(1, 0, 2)
         v = self.w_v(kv).reshape(n_kv, h, d).transpose(1, 0, 2)
 
-        scores = (q @ k.transpose(0, 2, 1)) * (1.0 / np.sqrt(d))
+        scores = (q @ k.transpose(0, 2, 1)) * self.scale
         if attn_bias is not None:
             scores = scores + attn_bias.reshape(1, n_q, n_kv)
         weights = scores.softmax(axis=-1)
@@ -86,7 +89,7 @@ class MultiHeadAttention(Module):
         k = self.w_k(kv).reshape(b, n_kv, h, d).transpose(0, 2, 1, 3)
         v = self.w_v(kv).reshape(b, n_kv, h, d).transpose(0, 2, 1, 3)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(d))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale
         if attn_bias is not None:
             # (B, n_q|1, n_kv) -> (B, 1, n_q|1, n_kv): broadcast over
             # heads (and over queries for pure key masks).

@@ -103,6 +103,15 @@ METRIC_NAMES: dict[str, str] = {
     "serve_result_cache_misses_total": "requests that needed a forward "
                                        "pass",
     "serve_shed_total": "requests shed to the fallback chain (queue full)",
+    # -- trace ---------------------------------------------------------- #
+    "trace_arena_bytes": "bytes held by compiled-tape buffer arenas",
+    "trace_cache_hits_total": "batched forwards replayed from a "
+                              "compiled tape",
+    "trace_cache_misses_total": "batched forwards that had to "
+                                "trace+compile",
+    "trace_fallback_total": "batched forwards that fell back to eager "
+                            "after a trace or replay error",
+    "trace_fused_ops_total": "tape ops eliminated by peephole fusion",
     # -- trainer -------------------------------------------------------- #
     "trainer_best_state_restores_total": "early-stop best-state restores",
     "trainer_loss": "training loss per epoch",

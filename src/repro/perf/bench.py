@@ -16,9 +16,10 @@ Four suites, each emitting machine-readable numbers into
 Gates (``repro bench --check``): batched training >= 3x samples/sec,
 warm ``workers=4`` generation >= 2x over cold serial with a bit-identical
 dataset, and batched predictions/gradients within 1e-6 of per-graph.
-By default the serving suites (:mod:`repro.serve.bench`) and the fleet
-suites (:mod:`repro.fleet.bench`) run too and their gates merge in —
-see docs/serving.md and docs/fleet.md.
+By default the serving suites (:mod:`repro.serve.bench`), the fleet
+suites (:mod:`repro.fleet.bench`), and the trace-and-replay suites
+(:mod:`repro.perf.trace_bench`) run too and their gates merge in —
+see docs/serving.md, docs/fleet.md, and docs/compile.md.
 Raw cold-scaling numbers are recorded alongside ``cpu_count`` — on a
 single-core CI box process parallelism cannot beat serial, which is why
 the headline generation gate compares the full feature (parallel +
@@ -226,17 +227,21 @@ def bench_generate(scale: float = 1.0) -> dict:
 
 
 def run_benchmarks(scale: float = 1.0, serve: bool = True,
-                   obs: bool = True, fleet: bool = True) -> dict:
+                   obs: bool = True, fleet: bool = True,
+                   trace: bool = True) -> dict:
     """Run every suite; returns the ``BENCH_perf.json`` document.
 
     ``serve=True`` also runs the serving suites (``repro.serve.bench``)
     and merges their gates, so ``repro bench --check`` covers the online
     path too; ``repro serve-bench`` runs them standalone.  ``obs=True``
     does the same for the observability suites (``repro.obs.bench`` /
-    ``repro obs-bench``), including the tracing-overhead guard, and
+    ``repro obs-bench``), including the tracing-overhead guard,
     ``fleet=True`` for the multi-worker fleet suites
     (``repro.fleet.bench`` / ``repro fleet-bench``): scaling, worker
-    chaos, and the shared disk tier.
+    chaos, and the shared disk tier, and ``trace=True`` for the
+    trace-and-replay executor suites (``repro.perf.trace_bench`` /
+    ``repro trace-bench``): compiled-tape speedup, zoo equivalence,
+    serial bit-identity, and fallback-on-miss.
     """
     results = {
         "meta": {
@@ -266,6 +271,12 @@ def run_benchmarks(scale: float = 1.0, serve: bool = True,
         fleet_doc = run_fleet_benchmarks(scale)
         results["fleet"] = {k: v for k, v in fleet_doc.items()
                             if k not in ("meta", "gates")}
+    if trace:
+        # Lazy for symmetry: trace_bench pulls serve + core machinery in.
+        from .trace_bench import run_trace_benchmarks
+        trace_doc = run_trace_benchmarks(scale)
+        results["trace"] = {k: v for k, v in trace_doc.items()
+                            if k not in ("meta", "gates")}
     results["gates"] = evaluate_gates(results)
     return results
 
@@ -290,6 +301,9 @@ def evaluate_gates(results: dict) -> dict:
     if "fleet" in results:
         from ..fleet.bench import evaluate_fleet_gates
         gates.update(evaluate_fleet_gates(results["fleet"]))
+    if "trace" in results:
+        from .trace_bench import evaluate_trace_gates
+        gates.update(evaluate_trace_gates(results["trace"]))
     return gates
 
 
@@ -334,6 +348,14 @@ def format_summary(results: dict) -> str:
             f"{100 * o['overhead_budget']:.0f}%), traced "
             f"{100 * o['on_overhead']:+.2f}%; slo healthy="
             f"{results['obs']['slo']['healthy_ok']}")
+    if "trace" in results:
+        tr = results["trace"]["speedup"]
+        lines.append(
+            f"trace   : replay {tr['speedup']:.2f}x over eager on "
+            f"{tr['num_graphs']} graphs ({tr['tape_ops']} ops -> "
+            f"{tr['replay_steps']} steps), zoo diff "
+            f"{results['trace']['equivalence']['max_diff']:.1e}, serial "
+            f"bit-identical: {results['trace']['serial']['bit_identical']}")
     lines.append("gates   : " + "  ".join(
         f"{k}={'PASS' if v else 'FAIL'}"
         for k, v in results["gates"].items()))

@@ -121,11 +121,16 @@ class ModelSession:
     """
 
     def __init__(self, model, device: DeviceSpec, *,
-                 cache_size: int = 1024):
+                 cache_size: int = 1024, traced: bool = True):
         self.model = model
         self.device = device
         self.results = _LRU(cache_size)      # graph_key -> float
         self.encodings = _LRU(cache_size)    # graph_key -> GraphFeatures
+        # Traced replay applies only to multi-graph batches, and only to
+        # models that opt in; single-graph requests stay on the eager
+        # per-graph forward (bit-identical).  See docs/compile.md.
+        self.traced = traced and getattr(
+            model, "supports_traced_batches", False)
 
     def key_for(self, graph, device: DeviceSpec | None = None) -> str:
         return graph_key(graph, device or self.device)
@@ -153,10 +158,15 @@ class ModelSession:
 
         A single graph runs :meth:`~repro.core.DNNOccu.predict` (the
         per-graph forward, bit-identical to a direct call); larger lists
-        run the masked dense batch.
+        run the masked dense batch — through the trace-and-replay
+        executor when the model supports it (``traced=False`` or the
+        ``REPRO_NO_TRACE`` environment knob restores eager batches).
         """
         if len(feats_list) == 1:
             return [self.model.predict(feats_list[0])]
+        if self.traced:
+            return [float(v) for v in
+                    self.model.predict_batch(feats_list, traced=True)]
         return [float(v) for v in self.model.predict_batch(feats_list)]
 
 
